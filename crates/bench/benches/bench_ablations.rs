@@ -1,0 +1,167 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! forest size, tree depth, downsampling ratio, and daily-only vs
+//! cumulative-only feature sets. Each variant reports its wall-clock (the
+//! Criterion measurement) and prints its cross-validated AUC once, so the
+//! accuracy/cost trade-off is visible in one run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{bench_predict_config, small_trace};
+use ssd_field_study_core::{build_dataset, ExtractOptions};
+use ssd_ml::{cross_validate, CvOptions, Dataset, ForestConfig};
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        build_dataset(
+            small_trace(),
+            &ExtractOptions {
+                lookahead_days: 1,
+                negative_sample_rate: 0.04,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn bench_forest_size(c: &mut Criterion) {
+    let data = dataset();
+    let cfg = bench_predict_config();
+    let mut g = c.benchmark_group("ablation_forest_size");
+    g.sample_size(10);
+    for n_trees in [10usize, 50, 150] {
+        let forest = ForestConfig {
+            n_trees,
+            ..Default::default()
+        };
+        let auc = cross_validate(&forest, data, &cfg.cv).mean();
+        eprintln!("[ablation] n_trees={n_trees}: AUC {auc:.3}");
+        g.bench_function(format!("n_trees_{n_trees}"), |b| {
+            b.iter(|| cross_validate(&forest, data, &cfg.cv))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_depth(c: &mut Criterion) {
+    let data = dataset();
+    let cfg = bench_predict_config();
+    let mut g = c.benchmark_group("ablation_tree_depth");
+    g.sample_size(10);
+    for depth in [4usize, 10, 20] {
+        let mut forest = cfg.forest.clone();
+        forest.tree.max_depth = depth;
+        let auc = cross_validate(&forest, data, &cfg.cv).mean();
+        eprintln!("[ablation] max_depth={depth}: AUC {auc:.3}");
+        g.bench_function(format!("max_depth_{depth}"), |b| {
+            b.iter(|| cross_validate(&forest, data, &cfg.cv))
+        });
+    }
+    g.finish();
+}
+
+fn bench_downsampling_ratio(c: &mut Criterion) {
+    let data = dataset();
+    let cfg = bench_predict_config();
+    let mut g = c.benchmark_group("ablation_downsample_ratio");
+    g.sample_size(10);
+    // The paper tested ratios beyond 1:1 and saw "miniscule improvements
+    // or overall reductions in performance" (Section 5.1).
+    for ratio in [1.0f64, 3.0, 10.0] {
+        let opts = CvOptions {
+            downsample_ratio: ratio,
+            ..cfg.cv
+        };
+        let auc = cross_validate(&cfg.forest, data, &opts).mean();
+        eprintln!("[ablation] ratio=1:{ratio}: AUC {auc:.3}");
+        g.bench_function(format!("neg_per_pos_{ratio}"), |b| {
+            b.iter(|| cross_validate(&cfg.forest, data, &opts))
+        });
+    }
+    g.finish();
+}
+
+/// Daily-only vs cumulative-only feature sets (Section 5.1 motivates
+/// including both; this quantifies each half's contribution).
+fn bench_feature_sets(c: &mut Criterion) {
+    let data = dataset();
+    let cfg = bench_predict_config();
+    // Columns 0..=13 are daily features (+ the age column 29 as context);
+    // columns 14..=30 are cumulative/derived.
+    let project = |cols: &[usize]| {
+        let names: Vec<String> = cols
+            .iter()
+            .map(|&j| data.feature_names()[j].clone())
+            .collect();
+        let mut out = Dataset::new(names);
+        let mut row = Vec::with_capacity(cols.len());
+        for i in 0..data.n_rows() {
+            row.clear();
+            let full = data.row(i);
+            row.extend(cols.iter().map(|&j| full[j]));
+            out.push_row(&row, data.label(i), data.group(i));
+        }
+        out
+    };
+    let daily: Vec<usize> = (0..=13).collect();
+    let cumulative: Vec<usize> = (14..=30).collect();
+    let mut g = c.benchmark_group("ablation_feature_sets");
+    g.sample_size(10);
+    for (name, cols) in [("daily_only", daily), ("cumulative_only", cumulative)] {
+        let proj = project(&cols);
+        let auc = cross_validate(&cfg.forest, &proj, &cfg.cv).mean();
+        eprintln!("[ablation] features={name}: AUC {auc:.3}");
+        g.bench_function(name, |b| {
+            b.iter(|| cross_validate(&cfg.forest, &proj, &cfg.cv))
+        });
+    }
+    g.finish();
+}
+
+/// MDI (train-time, free) vs permutation (held-out, expensive) feature
+/// importance: cost comparison, with the two top-5 rankings printed so
+/// their (dis)agreement is visible — the standard caveat on Figure 16.
+fn bench_importance_methods(c: &mut Criterion) {
+    use ssd_ml::{permutation_importance, RandomForest};
+    let data = dataset();
+    let cfg = bench_predict_config();
+    let all: Vec<usize> = (0..data.n_rows()).collect();
+    let idx = ssd_ml::downsample_majority(data, &all, 1.0, 1);
+    let train = data.select(&idx);
+    let forest = RandomForest::fit(&cfg.forest, &train, 1);
+
+    let top5 = |pairs: Vec<(String, f64)>| -> Vec<String> {
+        pairs.into_iter().take(5).map(|(n, _)| n).collect()
+    };
+    let mdi = top5(forest.ranked_importances(data.feature_names()));
+    let perm_values = permutation_importance(&forest, data, 2, 1);
+    let mut perm_pairs: Vec<(String, f64)> = data
+        .feature_names()
+        .iter()
+        .cloned()
+        .zip(perm_values)
+        .collect();
+    perm_pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    eprintln!("[ablation] MDI top-5:         {mdi:?}");
+    eprintln!("[ablation] permutation top-5: {:?}", top5(perm_pairs));
+
+    let mut g = c.benchmark_group("ablation_importance_methods");
+    g.sample_size(10);
+    g.bench_function("mdi_via_refit", |b| {
+        b.iter(|| RandomForest::fit(&cfg.forest, &train, 1).feature_importances().to_vec())
+    });
+    g.bench_function("permutation_2_repeats", |b| {
+        b.iter(|| permutation_importance(&forest, data, 2, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forest_size,
+    bench_tree_depth,
+    bench_downsampling_ratio,
+    bench_feature_sets,
+    bench_importance_methods
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figures 6–9 regeneration benchmarks (age and wear analyses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::bench_trace;
+use ssd_field_study_core::aging::{failure_age, wear_at_failure, write_intensity};
+
+fn bench_aging(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("aging");
+    g.sample_size(10);
+    g.bench_function("fig6_failure_age_and_rate", |b| b.iter(|| failure_age(trace)));
+    g.bench_function("fig7_write_intensity_quartiles", |b| {
+        b.iter(|| write_intensity(trace))
+    });
+    g.bench_function("fig8_fig9_wear_at_failure", |b| {
+        b.iter(|| wear_at_failure(trace))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aging);
+criterion_main!(benches);

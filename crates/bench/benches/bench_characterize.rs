@@ -1,0 +1,26 @@
+//! Figure 1 and Table 1 regeneration benchmarks (trace characterization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::bench_trace;
+use ssd_field_study_core::characterize::{error_incidence, trace_coverage};
+
+fn bench_fig1(c: &mut Criterion) {
+    let trace = bench_trace();
+    c.benchmark_group("fig1_trace_coverage")
+        .sample_size(20)
+        .bench_function("max_age_and_data_count_cdfs", |b| {
+            b.iter(|| trace_coverage(trace))
+        });
+}
+
+fn bench_tab1(c: &mut Criterion) {
+    let trace = bench_trace();
+    c.benchmark_group("tab1_error_incidence")
+        .sample_size(20)
+        .bench_function("per_model_error_day_rates", |b| {
+            b.iter(|| error_incidence(trace))
+        });
+}
+
+criterion_group!(benches, bench_fig1, bench_tab1);
+criterion_main!(benches);

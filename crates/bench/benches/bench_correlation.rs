@@ -1,0 +1,29 @@
+//! Table 2 regeneration benchmark: the 12×12 Spearman matrix over
+//! per-drive cumulative counts, plus the rank-correlation kernel itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::bench_trace;
+use ssd_field_study_core::characterize::correlation_matrix;
+use ssd_stats::{spearman, SplitMix64};
+
+fn bench_tab2(c: &mut Criterion) {
+    let trace = bench_trace();
+    c.benchmark_group("tab2_correlation_matrix")
+        .sample_size(10)
+        .bench_function("spearman_12x12_over_fleet", |b| {
+            b.iter(|| correlation_matrix(trace))
+        });
+}
+
+fn bench_spearman_kernel(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(7);
+    let n = 100_000;
+    let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let y: Vec<f64> = x.iter().map(|v| v + rng.next_f64()).collect();
+    c.benchmark_group("spearman_kernel")
+        .sample_size(20)
+        .bench_function("100k_pairs", |b| b.iter(|| spearman(&x, &y)));
+}
+
+criterion_group!(benches, bench_tab2, bench_spearman_kernel);
+criterion_main!(benches);

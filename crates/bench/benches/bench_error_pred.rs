@@ -1,0 +1,32 @@
+//! Table 8 regeneration benchmark: error-type prediction. The full table
+//! is 30 cross-validations; the bench measures a representative target
+//! (uncorrectable errors, the paper's strongest row) per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{bench_predict_config, small_trace};
+use ssd_field_study_core::{build_dataset, ExtractOptions, LabelKind};
+use ssd_ml::cross_validate;
+use ssd_types::ErrorKind;
+
+fn bench_tab8_representative(c: &mut Criterion) {
+    let trace = small_trace();
+    let cfg = bench_predict_config();
+    let data = build_dataset(
+        trace,
+        &ExtractOptions {
+            lookahead_days: 2,
+            label: LabelKind::Error(ErrorKind::Uncorrectable),
+            negative_sample_rate: 0.02,
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
+    c.benchmark_group("tab8_error_prediction")
+        .sample_size(10)
+        .bench_function("uncorrectable_n2_cv", |b| {
+            b.iter(|| cross_validate(&cfg.forest, &data, &cfg.cv))
+        });
+}
+
+criterion_group!(benches, bench_tab8_representative);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figures 10–11 regeneration benchmarks (error-incidence analyses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::bench_trace;
+use ssd_field_study_core::errors_analysis::{cumulative_error_cdfs, pre_failure_errors};
+
+fn bench_errors(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("error_incidence");
+    g.sample_size(10);
+    g.bench_function("fig10_cumulative_error_cdfs", |b| {
+        b.iter(|| cumulative_error_cdfs(trace))
+    });
+    g.bench_function("fig11_pre_failure_errors", |b| {
+        b.iter(|| pre_failure_errors(trace))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_errors);
+criterion_main!(benches);

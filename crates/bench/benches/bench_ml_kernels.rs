@@ -1,0 +1,77 @@
+//! ML-substrate micro-benchmarks: training and scoring kernels for each
+//! of the six classifier families, plus the ROC/AUC metric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_ml::{
+    roc_auc, Dataset, ForestConfig, KnnConfig, LinearSvmConfig, LogisticRegressionConfig,
+    MlpConfig, Trainer, TreeConfig,
+};
+use ssd_stats::SplitMix64;
+
+/// Balanced synthetic training set shaped like a downsampled fold:
+/// ~2k rows, 31 features, nonlinear boundary.
+fn train_set() -> Dataset {
+    let mut rng = SplitMix64::new(3);
+    let mut d = Dataset::with_dims(31);
+    let mut row = vec![0f32; 31];
+    for i in 0..2000 {
+        for v in row.iter_mut() {
+            *v = rng.next_f64() as f32;
+        }
+        let label = (row[0] > 0.5) != (row[5] > 0.6) || row[29] > 0.9;
+        d.push_row(&row, label, i as u32);
+    }
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = train_set();
+    let mut g = c.benchmark_group("train_2k_rows");
+    g.sample_size(10);
+    let trainers: Vec<(&str, Box<dyn Trainer>)> = vec![
+        ("logistic", Box::new(LogisticRegressionConfig::default())),
+        ("svm", Box::new(LinearSvmConfig::default())),
+        ("knn_fit", Box::new(KnnConfig::default())),
+        ("mlp", Box::new(MlpConfig { epochs: 20, ..Default::default() })),
+        ("tree", Box::new(TreeConfig::default())),
+        (
+            "forest_50",
+            Box::new(ForestConfig {
+                n_trees: 50,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (name, t) in &trainers {
+        g.bench_function(*name, |b| b.iter(|| t.fit(&data, 0)));
+    }
+    g.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let data = train_set();
+    let forest = ForestConfig {
+        n_trees: 50,
+        ..Default::default()
+    }
+    .fit(&data, 0);
+    let knn = KnnConfig::default().fit(&data, 0);
+    let mut g = c.benchmark_group("score_2k_rows");
+    g.sample_size(10);
+    g.bench_function("forest_50", |b| b.iter(|| forest.predict_batch(&data)));
+    g.bench_function("knn", |b| b.iter(|| knn.predict_batch(&data)));
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(9);
+    let n = 200_000;
+    let scores: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let labels: Vec<bool> = scores.iter().map(|&s| rng.next_f64() < s).collect();
+    c.benchmark_group("metrics")
+        .sample_size(20)
+        .bench_function("roc_auc_200k", |b| b.iter(|| roc_auc(&scores, &labels)));
+}
+
+criterion_group!(benches, bench_training, bench_scoring, bench_metrics);
+criterion_main!(benches);

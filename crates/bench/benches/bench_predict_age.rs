@@ -1,0 +1,26 @@
+//! Figures 14–16 regeneration benchmarks: age-dependent TPR, young/old
+//! ROC split, and the age-partitioned feature importances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{bench_predict_config, small_trace};
+use ssd_field_study_core::predict::{age_analysis, importance};
+
+fn bench_age_analyses(c: &mut Criterion) {
+    let trace = small_trace();
+    let cfg = bench_predict_config();
+    let mut g = c.benchmark_group("predict_age");
+    g.sample_size(10);
+    g.bench_function("fig14_tpr_by_age", |b| {
+        b.iter(|| age_analysis::tpr_by_age(trace, &cfg, &[0.85, 0.90, 0.95]))
+    });
+    g.bench_function("fig15_young_old_roc", |b| {
+        b.iter(|| age_analysis::young_old_roc(trace, &cfg))
+    });
+    g.bench_function("fig16_feature_importance", |b| {
+        b.iter(|| importance::feature_importance(trace, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_age_analyses);
+criterion_main!(benches);

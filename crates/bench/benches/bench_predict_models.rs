@@ -1,0 +1,33 @@
+//! Table 6 / Figure 13 / Table 7 regeneration benchmarks: the six-model
+//! comparison, per-model ROC, and cross-model transfer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{bench_predict_config, small_trace};
+use ssd_field_study_core::predict::{models, per_model};
+
+fn bench_tab6(c: &mut Criterion) {
+    let trace = small_trace();
+    let cfg = bench_predict_config();
+    c.benchmark_group("tab6_model_comparison")
+        .sample_size(10)
+        .bench_function("six_models_lookahead_1", |b| {
+            b.iter(|| models::model_comparison(trace, &cfg, &[1]))
+        });
+}
+
+fn bench_fig13_tab7(c: &mut Criterion) {
+    let trace = small_trace();
+    let cfg = bench_predict_config();
+    let mut g = c.benchmark_group("per_model_and_transfer");
+    g.sample_size(10);
+    g.bench_function("fig13_per_model_roc", |b| {
+        b.iter(|| per_model::per_model_roc(trace, &cfg))
+    });
+    g.bench_function("tab7_transfer_matrix", |b| {
+        b.iter(|| per_model::transfer_matrix(trace, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tab6, bench_fig13_tab7);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 12 regeneration benchmark: the random-forest AUC sweep over
+//! lookahead windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{bench_predict_config, small_trace};
+use ssd_field_study_core::predict::sweep::lookahead_sweep;
+
+fn bench_fig12(c: &mut Criterion) {
+    let trace = small_trace();
+    let cfg = bench_predict_config();
+    c.benchmark_group("fig12_lookahead_sweep")
+        .sample_size(10)
+        .bench_function("rf_over_n_1_7_30", |b| {
+            b.iter(|| lookahead_sweep(trace, &cfg, &[1, 7, 30]))
+        });
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Substrate benchmark: fleet generation throughput (parallel vs
+//! sequential) and trace codec performance.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ssd_sim::{generate_fleet, generate_fleet_sequential, SimConfig};
+use ssd_types::codec::{decode_trace, encode_trace};
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        drives_per_model: 60,
+        horizon_days: 1500,
+        seed: 1,
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_generation");
+    g.sample_size(10);
+    g.bench_function("parallel_180_drives", |b| {
+        b.iter(|| generate_fleet(&cfg()))
+    });
+    g.bench_function("sequential_180_drives", |b| {
+        b.iter(|| generate_fleet_sequential(&cfg()))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = generate_fleet(&cfg());
+    let encoded = encode_trace(&trace);
+    let mut g = c.benchmark_group("trace_codec");
+    g.sample_size(10);
+    g.bench_function("encode", |b| b.iter(|| encode_trace(&trace)));
+    g.bench_function("decode", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |bytes| decode_trace(bytes).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_codec);
+criterion_main!(benches);

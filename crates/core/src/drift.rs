@@ -1,0 +1,240 @@
+//! Fleet drift detection: statistical comparison of two traces.
+//!
+//! A prediction model trained on one quarter's fleet silently degrades
+//! when the fleet's behaviour shifts (new firmware, new vintage, workload
+//! migration). This module compares two traces on the distributions that
+//! drive the paper's analyses and flags significant divergence with
+//! two-sample KS tests — the operational companion to the cross-model
+//! transfer experiment (Table 7), which shows how much such shifts cost
+//! in AUC.
+
+use crate::failure::failure_records;
+use crate::report::TextTable;
+use serde::Serialize;
+use ssd_stats::{ks_p_value, ks_statistic};
+use ssd_types::{ErrorKind, FleetTrace};
+
+/// One compared dimension.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftCheck {
+    /// What was compared.
+    pub metric: String,
+    /// KS statistic between the two samples.
+    pub ks: f64,
+    /// Asymptotic p-value (small = distributions differ).
+    pub p_value: f64,
+    /// Sample sizes (reference, candidate).
+    pub n: (usize, usize),
+}
+
+impl DriftCheck {
+    /// Whether drift is significant at the given level.
+    pub fn drifted(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Result of a fleet comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftReport {
+    /// Per-metric comparisons.
+    pub checks: Vec<DriftCheck>,
+}
+
+fn sample_check(metric: &str, a: &[f64], b: &[f64]) -> Option<DriftCheck> {
+    if a.len() < 10 || b.len() < 10 {
+        return None;
+    }
+    let ks = ks_statistic(a, b);
+    Some(DriftCheck {
+        metric: metric.to_string(),
+        ks,
+        p_value: ks_p_value(ks, a.len(), b.len()),
+        n: (a.len(), b.len()),
+    })
+}
+
+/// Per-drive daily write means (workload fingerprint).
+fn write_means(trace: &FleetTrace) -> Vec<f64> {
+    trace
+        .drives
+        .iter()
+        .filter(|d| !d.reports.is_empty())
+        .map(|d| {
+            d.reports.iter().map(|r| r.write_ops as f64).sum::<f64>() / d.reports.len() as f64
+        })
+        .collect()
+}
+
+/// Per-drive cumulative UE counts.
+fn ue_totals(trace: &FleetTrace) -> Vec<f64> {
+    trace
+        .drives
+        .iter()
+        .map(|d| {
+            d.reports
+                .iter()
+                .map(|r| r.errors.get(ErrorKind::Uncorrectable))
+                .sum::<u64>() as f64
+        })
+        .collect()
+}
+
+/// Failure ages.
+fn failure_ages(trace: &FleetTrace) -> Vec<f64> {
+    trace
+        .drives
+        .iter()
+        .flat_map(|d| {
+            failure_records(d)
+                .into_iter()
+                .map(|f| f64::from(f.fail_day))
+        })
+        .collect()
+}
+
+/// Final P/E cycle counts (wear fingerprint).
+fn final_pe(trace: &FleetTrace) -> Vec<f64> {
+    trace
+        .drives
+        .iter()
+        .filter_map(|d| d.reports.last().map(|r| f64::from(r.pe_cycles)))
+        .collect()
+}
+
+/// Compares a candidate trace against a reference on workload, error,
+/// wear, and failure-age distributions.
+pub fn drift_report(reference: &FleetTrace, candidate: &FleetTrace) -> DriftReport {
+    let mut checks = Vec::new();
+    let pairs: [(&str, Vec<f64>, Vec<f64>); 4] = [
+        (
+            "per-drive mean daily writes",
+            write_means(reference),
+            write_means(candidate),
+        ),
+        (
+            "per-drive cumulative UEs",
+            ue_totals(reference),
+            ue_totals(candidate),
+        ),
+        ("failure ages", failure_ages(reference), failure_ages(candidate)),
+        ("final P/E cycles", final_pe(reference), final_pe(candidate)),
+    ];
+    for (name, a, b) in pairs {
+        if let Some(c) = sample_check(name, &a, &b) {
+            checks.push(c);
+        }
+    }
+    DriftReport { checks }
+}
+
+impl DriftReport {
+    /// True if any dimension drifted at the given significance level.
+    pub fn any_drift(&self, alpha: f64) -> bool {
+        self.checks.iter().any(|c| c.drifted(alpha))
+    }
+
+    /// Renders as a table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fleet drift report (two-sample KS)",
+            vec![
+                "Metric".into(),
+                "KS".into(),
+                "p-value".into(),
+                "n_ref/n_new".into(),
+            ],
+        );
+        for c in &self.checks {
+            t.push_row(vec![
+                c.metric.clone(),
+                format!("{:.3}", c.ks),
+                format!("{:.2e}", c.p_value),
+                format!("{}/{}", c.n.0, c.n.1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_sim::{generate_fleet, SimConfig};
+
+    fn fleet(seed: u64, drives: u32) -> FleetTrace {
+        generate_fleet(&SimConfig {
+            drives_per_model: drives,
+            horizon_days: 1500,
+            seed,
+        })
+    }
+
+    #[test]
+    fn identically_distributed_fleets_show_no_drift() {
+        // Different seeds, same generative parameters: no dimension should
+        // reject at a strict level.
+        let a = fleet(1, 250);
+        let b = fleet(2, 250);
+        let r = drift_report(&a, &b);
+        assert_eq!(r.checks.len(), 4);
+        assert!(
+            !r.any_drift(1e-4),
+            "false drift: {:?}",
+            r.checks
+                .iter()
+                .map(|c| (c.metric.clone(), c.p_value))
+                .collect::<Vec<_>>()
+        );
+        let _ = r.table().render();
+    }
+
+    #[test]
+    fn workload_shift_is_detected() {
+        let a = fleet(1, 200);
+        let mut b = fleet(2, 200);
+        // Simulate a fleet-wide workload migration: double every write.
+        for d in &mut b.drives {
+            for r in &mut d.reports {
+                r.write_ops *= 2;
+            }
+        }
+        let r = drift_report(&a, &b);
+        let writes = r
+            .checks
+            .iter()
+            .find(|c| c.metric.contains("writes"))
+            .unwrap();
+        assert!(writes.drifted(0.001), "p {}", writes.p_value);
+    }
+
+    #[test]
+    fn error_regime_shift_is_detected() {
+        let a = fleet(3, 200);
+        let mut b = fleet(4, 200);
+        // New firmware bug: every drive sees extra UEs.
+        for d in &mut b.drives {
+            for (i, r) in d.reports.iter_mut().enumerate() {
+                if i % 50 == 0 {
+                    r.errors.add_count(ssd_types::ErrorKind::Uncorrectable, 7);
+                }
+            }
+        }
+        let r = drift_report(&a, &b);
+        let ue = r.checks.iter().find(|c| c.metric.contains("UE")).unwrap();
+        assert!(ue.drifted(0.001), "p {}", ue.p_value);
+        // The untouched wear dimension must not fire.
+        let pe = r.checks.iter().find(|c| c.metric.contains("P/E")).unwrap();
+        assert!(!pe.drifted(1e-6), "p {}", pe.p_value);
+    }
+
+    #[test]
+    fn tiny_samples_are_skipped() {
+        let a = fleet(5, 2);
+        let b = fleet(6, 2);
+        let r = drift_report(&a, &b);
+        // Failure-age samples are too small at 6 drives; the check list
+        // shrinks rather than producing junk statistics.
+        assert!(r.checks.len() < 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Failure prediction (Section 5): the six classifiers, the evaluation
+//! protocol, and the post-prediction analyses of Tables 6–8 and
+//! Figures 12–16.
+
+pub mod age_analysis;
+pub mod error_pred;
+pub mod importance;
+pub mod models;
+pub mod per_model;
+pub mod sweep;
+
+use crate::features::{build_dataset, ExtractOptions};
+use ssd_ml::{
+    CvOptions, ForestConfig, KnnConfig, LinearSvmConfig, LogisticRegressionConfig, MlpConfig,
+    Trainer, TreeConfig,
+};
+use ssd_types::FleetTrace;
+
+/// Shared configuration for the prediction experiments.
+#[derive(Debug, Clone)]
+pub struct PredictConfig {
+    /// Negative drive-day sampling rate when building datasets (all
+    /// positives are kept; see [`crate::features::ExtractOptions`]).
+    pub negative_sample_rate: f64,
+    /// Cross-validation protocol (defaults to the paper's 5-fold, 1:1).
+    pub cv: CvOptions,
+    /// Random-forest configuration used in the RF-centric experiments.
+    pub forest: ForestConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PredictConfig {
+    fn default() -> Self {
+        PredictConfig {
+            negative_sample_rate: 0.05,
+            cv: CvOptions::default(),
+            forest: ForestConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl PredictConfig {
+    /// A lighter configuration for tests and quick runs: fewer trees,
+    /// higher sampling.
+    pub fn fast(seed: u64) -> Self {
+        PredictConfig {
+            negative_sample_rate: 0.04,
+            cv: CvOptions {
+                k: 5,
+                downsample_ratio: 1.0,
+                seed,
+            },
+            forest: ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+            seed,
+        }
+    }
+
+    /// Extraction options for a swap-prediction dataset with lookahead `n`.
+    pub fn extract_opts(&self, lookahead_days: u32) -> ExtractOptions {
+        ExtractOptions {
+            lookahead_days,
+            negative_sample_rate: self.negative_sample_rate,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the swap-prediction dataset for lookahead `n` days.
+    pub fn dataset(&self, trace: &FleetTrace, lookahead_days: u32) -> ssd_ml::Dataset {
+        build_dataset(trace, &self.extract_opts(lookahead_days))
+    }
+}
+
+/// The paper's six classifier families (Table 6 row order), with the
+/// hyperparameters our grid search settled on (see
+/// `benches/bench_ablations.rs` for the sweeps).
+pub fn six_model_trainers() -> Vec<Box<dyn Trainer>> {
+    vec![
+        Box::new(LogisticRegressionConfig::default()),
+        Box::new(KnnConfig::default()),
+        Box::new(LinearSvmConfig::default()),
+        Box::new(MlpConfig::default()),
+        Box::new(TreeConfig::default()),
+        Box::new(ForestConfig::default()),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_types::FleetTrace;
+    use std::sync::OnceLock;
+
+    /// A shared medium trace so each predict test doesn't regenerate it.
+    pub fn shared_trace() -> &'static FleetTrace {
+        static TRACE: OnceLock<FleetTrace> = OnceLock::new();
+        TRACE.get_or_init(|| {
+            generate_fleet(&SimConfig {
+                drives_per_model: 500,
+                horizon_days: 2190,
+                seed: 2024,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_trainers_have_the_papers_names() {
+        let names: Vec<String> = six_model_trainers().iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Logistic Reg.",
+                "k-NN",
+                "SVM",
+                "Neural Network",
+                "Decision Tree",
+                "Random Forest"
+            ]
+        );
+    }
+
+    #[test]
+    fn dataset_builder_produces_positives() {
+        let trace = test_support::shared_trace();
+        let cfg = PredictConfig::fast(1);
+        let data = cfg.dataset(trace, 1);
+        let (pos, neg) = data.class_counts();
+        assert!(pos > 20, "positives {pos}");
+        assert!(neg > 10 * pos, "imbalance expected: {pos} vs {neg}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Lightweight table/series rendering for experiment outputs.
+//!
+//! Every experiment returns a serializable result struct; these helpers
+//! render them as aligned text tables (for the `repro` binary) so the
+//! regenerated artifacts can be compared line-by-line with the paper's
+//! tables and figure series.
+
+use serde::Serialize;
+
+/// A rectangular text table with a header row.
+#[derive(Debug, Clone, Serialize)]
+pub struct TextTable {
+    /// Table title, e.g. "Table 6: ROC AUC per model and lookahead".
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (each the same length as `header`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics on width mismatch.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "table row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A named (x, y) series — the textual stand-in for a figure curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve label, e.g. "Young (AUC=0.961)".
+    pub name: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Downsamples to at most `n` points (uniform stride), preserving the
+    /// first and last — keeps printed figures readable.
+    pub fn thinned(&self, n: usize) -> Series {
+        if self.points.len() <= n || n < 2 {
+            return self.clone();
+        }
+        let stride = (self.points.len() - 1) as f64 / (n - 1) as f64;
+        let mut pts = Vec::with_capacity(n);
+        for i in 0..n {
+            let idx = (i as f64 * stride).round() as usize;
+            pts.push(self.points[idx.min(self.points.len() - 1)]);
+        }
+        Series {
+            name: self.name.clone(),
+            points: pts,
+        }
+    }
+}
+
+/// Renders a set of series as a compact x/y listing.
+pub fn render_series(title: &str, series: &[Series], max_points: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for s in series {
+        let t = s.thinned(max_points);
+        out.push_str(&format!("  {}\n", t.name));
+        for (x, y) in &t.points {
+            out.push_str(&format!("    x={x:>12.4}  y={y:>10.4}\n"));
+        }
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `14.3`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(
+            "Demo",
+            vec!["Model".into(), "Value".into()],
+        );
+        t.push_row(vec!["MLC-A".into(), "1".into()]);
+        t.push_row(vec!["MLC-BB".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].starts_with("Model"));
+        assert!(lines[2].starts_with("---"));
+        assert!(lines[3].starts_with("MLC-A "));
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = TextTable::new("x", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn thinning_preserves_endpoints() {
+        let s = Series::new("s", (0..100).map(|i| (i as f64, 2.0 * i as f64)).collect());
+        let t = s.thinned(5);
+        assert_eq!(t.points.len(), 5);
+        assert_eq!(t.points[0], (0.0, 0.0));
+        assert_eq!(t.points[4], (99.0, 198.0));
+    }
+
+    #[test]
+    fn thinning_noop_when_small() {
+        let s = Series::new("s", vec![(1.0, 1.0)]);
+        assert_eq!(s.thinned(10).points.len(), 1);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.143), "14.3");
+        assert_eq!(pct(0.0695), "7.0");
+    }
+}

@@ -1,0 +1,203 @@
+//! Probability calibration (Platt scaling).
+//!
+//! ROC analysis is threshold-free, but the paper's deployment story
+//! (Figure 14, and any proactive-replacement policy) thresholds raw model
+//! outputs. Forest vote fractions are notoriously mis-calibrated under
+//! downsampled training (the 1:1 balance shifts the base rate), so we
+//! provide Platt scaling: fit `sigmoid(a·s + b)` on held-out scores by
+//! logistic regression in one dimension.
+
+use crate::classifier::{sigmoid, Classifier};
+
+/// A fitted Platt calibrator: maps raw scores to calibrated probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaler {
+    /// Slope applied to the raw score.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits on held-out `(score, label)` pairs by Newton-damped gradient
+    /// descent on the logistic loss (1-D problem, converges in a few
+    /// hundred steps).
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len());
+        assert!(!scores.is_empty(), "cannot calibrate on empty data");
+        let n = scores.len() as f64;
+        // Platt's target smoothing: t+ = (N+ + 1)/(N+ + 2), t− = 1/(N− + 2)
+        // guards against overconfident extremes.
+        let n_pos = labels.iter().filter(|&&l| l).count() as f64;
+        let n_neg = n - n_pos;
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { t_pos } else { t_neg })
+            .collect();
+
+        let mut a = 1.0f64;
+        let mut b = 0.0f64;
+        let lr = 2.0;
+        for _ in 0..500 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let p = sigmoid(a * s + b);
+                let err = p - t;
+                ga += err * s;
+                gb += err;
+            }
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        PlattScaler { a, b }
+    }
+
+    /// Maps a raw score to a calibrated probability.
+    #[inline]
+    pub fn transform(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+
+    /// Maps a batch of raw scores.
+    pub fn transform_batch(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform(s)).collect()
+    }
+}
+
+/// A classifier wrapped with a calibrator.
+pub struct Calibrated<C> {
+    inner: C,
+    scaler: PlattScaler,
+}
+
+impl<C: Classifier> Calibrated<C> {
+    /// Wraps `inner`, fitting the calibrator on held-out data.
+    pub fn fit(inner: C, held_out_rows: &[&[f32]], labels: &[bool]) -> Self {
+        let scores: Vec<f64> = held_out_rows
+            .iter()
+            .map(|r| inner.predict_proba(r))
+            .collect();
+        let scaler = PlattScaler::fit(&scores, labels);
+        Calibrated { inner, scaler }
+    }
+
+    /// The fitted scaler.
+    pub fn scaler(&self) -> PlattScaler {
+        self.scaler
+    }
+}
+
+impl<C: Classifier> Classifier for Calibrated<C> {
+    fn predict_proba(&self, row: &[f32]) -> f64 {
+        self.scaler.transform(self.inner.predict_proba(row))
+    }
+
+    fn name(&self) -> &'static str {
+        "calibrated"
+    }
+}
+
+/// Expected calibration error over `n_bins` equal-width probability bins:
+/// the weighted mean |empirical positive rate − mean predicted
+/// probability| per bin. 0 = perfectly calibrated.
+pub fn expected_calibration_error(scores: &[f64], labels: &[bool], n_bins: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    assert!(n_bins >= 1);
+    let mut bin_sum = vec![0.0f64; n_bins];
+    let mut bin_pos = vec![0.0f64; n_bins];
+    let mut bin_count = vec![0usize; n_bins];
+    for (&s, &l) in scores.iter().zip(labels) {
+        let b = ((s * n_bins as f64) as usize).min(n_bins - 1);
+        bin_sum[b] += s;
+        bin_pos[b] += f64::from(u8::from(l));
+        bin_count[b] += 1;
+    }
+    let n = scores.len() as f64;
+    (0..n_bins)
+        .filter(|&b| bin_count[b] > 0)
+        .map(|b| {
+            let c = bin_count[b] as f64;
+            let gap = (bin_pos[b] / c - bin_sum[b] / c).abs();
+            gap * c / n
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_stats::SplitMix64;
+
+    /// Scores whose true positive rate is sigmoid(4s − 2), i.e. raw scores
+    /// are systematically overconfident relative to 0/1.
+    fn miscalibrated(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = rng.next_f64();
+            let p_true = sigmoid(4.0 * s - 2.0);
+            scores.push(s);
+            labels.push(rng.next_f64() < p_true);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn platt_reduces_calibration_error() {
+        let (scores, labels) = miscalibrated(20_000, 1);
+        let before = expected_calibration_error(&scores, &labels, 10);
+        let scaler = PlattScaler::fit(&scores, &labels);
+        let calibrated = scaler.transform_batch(&scores);
+        let after = expected_calibration_error(&calibrated, &labels, 10);
+        assert!(
+            after < before * 0.5,
+            "ECE should drop: before {before:.4}, after {after:.4}"
+        );
+    }
+
+    #[test]
+    fn platt_recovers_known_slope() {
+        let (scores, labels) = miscalibrated(50_000, 2);
+        let scaler = PlattScaler::fit(&scores, &labels);
+        assert!((scaler.a - 4.0).abs() < 0.5, "slope {}", scaler.a);
+        assert!((scaler.b + 2.0).abs() < 0.4, "intercept {}", scaler.b);
+    }
+
+    #[test]
+    fn calibration_preserves_ranking() {
+        let (scores, labels) = miscalibrated(2_000, 3);
+        let scaler = PlattScaler::fit(&scores, &labels);
+        let cal = scaler.transform_batch(&scores);
+        let before = crate::metrics::roc_auc(&scores, &labels);
+        let after = crate::metrics::roc_auc(&cal, &labels);
+        assert!(
+            (before - after).abs() < 1e-9,
+            "monotone mapping must not change AUC"
+        );
+    }
+
+    #[test]
+    fn ece_of_perfect_calibration_is_small() {
+        let mut rng = SplitMix64::new(4);
+        let n = 50_000;
+        let scores: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| rng.next_f64() < s).collect();
+        let ece = expected_calibration_error(&scores, &labels, 10);
+        assert!(ece < 0.02, "ECE {ece}");
+    }
+
+    #[test]
+    fn transform_is_monotone() {
+        let scaler = PlattScaler { a: 3.0, b: -1.0 };
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let v = scaler.transform(i as f64 / 10.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

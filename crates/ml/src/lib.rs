@@ -1,0 +1,51 @@
+//! # ssd-ml
+//!
+//! From-scratch machine-learning substrate for the SSD field-study
+//! reproduction. The paper's Python/scikit-learn stack has no canonical
+//! Rust equivalent, so every piece is implemented here:
+//!
+//! * the six classifier families of Table 6 — [`linear::LogisticRegression`],
+//!   [`knn::Knn`], [`linear::LinearSvm`], [`nn::Mlp`],
+//!   [`tree::DecisionTree`], and [`forest::RandomForest`] (with MDI feature
+//!   importances for Figure 16);
+//! * the evaluation protocol of Section 5.1 — ROC curves and AUC
+//!   ([`metrics`]), drive-grouped k-fold CV with training-side 1:1
+//!   downsampling ([`cv`], [`split`]);
+//! * hyperparameter grid search ([`gridsearch`]).
+//!
+//! All training is deterministic given a seed, and the parallel paths
+//! (forest training, batch prediction) are reduction-order stable.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod classifier;
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod gbdt;
+pub mod gridsearch;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod nn;
+pub mod permutation;
+pub mod split;
+pub mod tree;
+
+pub use calibrate::{expected_calibration_error, Calibrated, PlattScaler};
+pub use classifier::{Classifier, FnTrainer, Trainer};
+pub use naive_bayes::{NaiveBayes, NaiveBayesConfig};
+pub use permutation::permutation_importance;
+pub use cv::{cross_validate, train_test_auc, CvOptions, CvResult};
+pub use dataset::{Dataset, Scaler};
+pub use forest::{ForestConfig, RandomForest};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use gridsearch::{grid_search, GridSearchResult};
+pub use knn::{Knn, KnnConfig};
+pub use linear::{LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig};
+pub use metrics::{average_precision, roc_auc, Confusion, RocCurve, RocPoint};
+pub use nn::{Mlp, MlpConfig};
+pub use split::{downsample_majority, grouped_kfold};
+pub use tree::{DecisionTree, TreeConfig};

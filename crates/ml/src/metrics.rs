@@ -1,0 +1,327 @@
+//! Classifier evaluation: ROC curves, ROC AUC, confusion statistics.
+//!
+//! The paper evaluates every model with ROC AUC because the data are
+//! extremely imbalanced ("1 failure for each 10,000 non-failure cases",
+//! Section 5.1) and the ROC curve's TPR/FPR axes are insensitive to the
+//! class ratio.
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False positive rate at this threshold.
+    pub fpr: f64,
+    /// True positive rate (recall) at this threshold.
+    pub tpr: f64,
+    /// Discrimination threshold achieving this point (scores ≥ threshold
+    /// are predicted positive).
+    pub threshold: f64,
+}
+
+/// A full ROC curve (monotone in both axes, from (0,0) to (1,1)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Curve points, in increasing-FPR order.
+    pub points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Computes the ROC curve for continuous `scores` against boolean
+    /// `labels`. Ties in score produce a single curve vertex (the standard
+    /// construction). Panics if either class is absent.
+    pub fn compute(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len());
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "ROC needs both classes present");
+
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("NaN score in ROC input")
+        });
+
+        let mut points = vec![RocPoint {
+            fpr: 0.0,
+            tpr: 0.0,
+            threshold: f64::INFINITY,
+        }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            let s = scores[order[i]];
+            // Consume the whole tie group before emitting a vertex.
+            while i < order.len() && scores[order[i]] == s {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                fpr: fp as f64 / n_neg as f64,
+                tpr: tp as f64 / n_pos as f64,
+                threshold: s,
+            });
+        }
+        RocCurve { points }
+    }
+
+    /// Area under the curve by trapezoidal integration.
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        area
+    }
+
+    /// TPR at the largest threshold whose FPR does not exceed `max_fpr`
+    /// (operating-point lookup for low-false-positive deployment).
+    pub fn tpr_at_fpr(&self, max_fpr: f64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|p| p.fpr <= max_fpr)
+            .last()
+            .map_or(0.0, |p| p.tpr)
+    }
+}
+
+/// ROC AUC via the rank-sum (Mann–Whitney) identity with tie correction —
+/// O(n log n) and exactly equal to trapezoidal integration of the tied
+/// ROC curve. Preferred when the curve itself is not needed.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "AUC needs both classes present");
+    // Fractional ranks of the scores (average rank for ties).
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i + 1;
+        while j < idx.len() && scores[idx[j]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Confusion counts at a fixed threshold (score ≥ threshold → positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Computes confusion counts.
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        let mut c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// True positive rate (recall); 0 when no positives.
+    pub fn tpr(&self) -> f64 {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            0.0
+        } else {
+            self.tp as f64 / p as f64
+        }
+    }
+
+    /// False positive rate; 0 when no negatives.
+    pub fn fpr(&self) -> f64 {
+        let n = self.fp + self.tn;
+        if n == 0 {
+            0.0
+        } else {
+            self.fp as f64 / n as f64
+        }
+    }
+
+    /// Precision; 0 when nothing predicted positive.
+    pub fn precision(&self) -> f64 {
+        let pp = self.tp + self.fp;
+        if pp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / pp as f64
+        }
+    }
+
+    /// False negative rate = 1 − TPR.
+    pub fn fnr(&self) -> f64 {
+        1.0 - self.tpr()
+    }
+}
+
+/// Average precision (area under the precision–recall curve, step-wise),
+/// the imbalance-sensitive companion metric to ROC AUC.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    assert!(n_pos > 0, "average precision needs positives");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut tp = 0usize;
+    let mut seen = 0usize;
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            if labels[order[i]] {
+                tp += 1;
+            }
+            seen += 1;
+            i += 1;
+        }
+        let recall = tp as f64 / n_pos as f64;
+        let precision = tp as f64 / seen as f64;
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_auc_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let c = RocCurve::compute(&scores, &labels);
+        assert!((c.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_constant_scores_auc_is_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+        assert!((RocCurve::compute(&scores, &labels).auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_auc_equals_curve_auc_with_ties() {
+        let scores = [0.3, 0.7, 0.7, 0.2, 0.9, 0.3, 0.5, 0.5];
+        let labels = [false, true, false, false, true, true, false, true];
+        let a = roc_auc(&scores, &labels);
+        let b = RocCurve::compute(&scores, &labels).auc();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn label_flip_antisymmetry() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.65, 0.9, 0.5];
+        let labels = [false, false, true, true, false, true, true];
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&scores, &flipped);
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_auc_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6 → 0), (0.4>0.2) → 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3, 0.6];
+        let labels = [false, true, false, true, true, false];
+        let c = RocCurve::compute(&scores, &labels);
+        for w in c.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = c.points.last().unwrap();
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn confusion_and_rates() {
+        let scores = [0.9, 0.8, 0.3, 0.6, 0.1];
+        let labels = [true, false, true, false, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 2, 1, 1));
+        assert!((c.tpr() - 0.5).abs() < 1e-12);
+        assert!((c.fpr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.fnr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpr_at_fpr_lookup() {
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.5];
+        let labels = [true, true, false, true, false];
+        let c = RocCurve::compute(&scores, &labels);
+        // At FPR = 0 we already have TPR = 2/3 (two positives above the
+        // first negative).
+        assert!((c.tpr_at_fpr(0.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.tpr_at_fpr(0.6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_known() {
+        let labels = [true, true, false, false];
+        assert!((average_precision(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-12);
+        // Ranking: pos, neg, pos, neg → AP = 0.5·1 + 0.5·(2/3) = 5/6.
+        let ap = average_precision(&[0.9, 0.8, 0.7, 0.6], &[true, false, true, false]);
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12, "{ap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        roc_auc(&[0.1, 0.2], &[true, true]);
+    }
+}

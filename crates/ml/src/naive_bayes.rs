@@ -1,0 +1,202 @@
+//! Gaussian naive Bayes — the classical Bayesian baseline.
+//!
+//! The paper's related work (Hamerly & Elkan [12]) used Bayesian
+//! approaches for disk-failure prediction; this implementation provides
+//! that reference point next to the six main model families. Features are
+//! modeled per class as independent Gaussians on standardized inputs,
+//! with variance smoothing for near-constant features.
+
+use crate::classifier::{Classifier, Trainer};
+use crate::dataset::{Dataset, Scaler};
+
+/// Hyperparameters for Gaussian naive Bayes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesConfig {
+    /// Portion of the largest feature variance added to every variance
+    /// (sklearn's `var_smoothing`).
+    pub var_smoothing: f64,
+}
+
+impl Default for NaiveBayesConfig {
+    fn default() -> Self {
+        NaiveBayesConfig {
+            var_smoothing: 1e-9,
+        }
+    }
+}
+
+/// A fitted Gaussian naive Bayes model.
+pub struct NaiveBayes {
+    scaler: Scaler,
+    /// Per class (0 = negative, 1 = positive): feature means.
+    means: [Vec<f64>; 2],
+    /// Per class: feature variances (smoothed).
+    vars: [Vec<f64>; 2],
+    /// Log class priors.
+    log_prior: [f64; 2],
+}
+
+impl NaiveBayes {
+    /// Fits class-conditional Gaussians.
+    pub fn fit(config: &NaiveBayesConfig, data: &Dataset) -> Self {
+        let (pos, neg) = data.class_counts();
+        assert!(pos > 0 && neg > 0, "naive Bayes needs both classes");
+        let scaler = Scaler::fit(data);
+        let mut scaled = data.clone();
+        scaler.transform(&mut scaled);
+        let d = data.n_features();
+        let mut means = [vec![0.0f64; d], vec![0.0f64; d]];
+        let mut vars = [vec![0.0f64; d], vec![0.0f64; d]];
+        let counts = [neg as f64, pos as f64];
+        for i in 0..scaled.n_rows() {
+            let c = usize::from(scaled.label(i));
+            for (m, &v) in means[c].iter_mut().zip(scaled.row(i)) {
+                *m += f64::from(v);
+            }
+        }
+        for c in 0..2 {
+            for m in means[c].iter_mut() {
+                *m /= counts[c];
+            }
+        }
+        for i in 0..scaled.n_rows() {
+            let c = usize::from(scaled.label(i));
+            for ((var, &m), &v) in vars[c].iter_mut().zip(&means[c]).zip(scaled.row(i)) {
+                let delta = f64::from(v) - m;
+                *var += delta * delta;
+            }
+        }
+        let mut max_var = 0.0f64;
+        for c in 0..2 {
+            for var in vars[c].iter_mut() {
+                *var /= counts[c];
+                max_var = max_var.max(*var);
+            }
+        }
+        let eps = config.var_smoothing * max_var.max(1e-12);
+        for c in 0..2 {
+            for var in vars[c].iter_mut() {
+                *var += eps + 1e-12;
+            }
+        }
+        let total = counts[0] + counts[1];
+        NaiveBayes {
+            scaler,
+            means,
+            vars,
+            log_prior: [(counts[0] / total).ln(), (counts[1] / total).ln()],
+        }
+    }
+
+    fn log_likelihood(&self, class: usize, row: &[f32]) -> f64 {
+        let mut ll = self.log_prior[class];
+        for ((&m, &v), &x) in self.means[class]
+            .iter()
+            .zip(&self.vars[class])
+            .zip(row)
+        {
+            let delta = f64::from(x) - m;
+            ll += -0.5 * ((std::f64::consts::TAU * v).ln() + delta * delta / v);
+        }
+        ll
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn predict_proba(&self, row: &[f32]) -> f64 {
+        let mut buf = Vec::with_capacity(row.len());
+        self.scaler.transform_row(row, &mut buf);
+        let l0 = self.log_likelihood(0, &buf);
+        let l1 = self.log_likelihood(1, &buf);
+        // Softmax over the two joint log-likelihoods.
+        let m = l0.max(l1);
+        let e0 = (l0 - m).exp();
+        let e1 = (l1 - m).exp();
+        e1 / (e0 + e1)
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive Bayes"
+    }
+}
+
+impl Trainer for NaiveBayesConfig {
+    fn fit(&self, data: &Dataset, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(NaiveBayes::fit(self, data))
+    }
+
+    fn name(&self) -> String {
+        "Naive Bayes".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+    use ssd_stats::SplitMix64;
+
+    fn gaussian_blobs(n: usize, seed: u64, sep: f64) -> Dataset {
+        let mut rng = SplitMix64::new(seed);
+        let mut d = Dataset::with_dims(3);
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let c = if pos { sep } else { -sep };
+            let g = |rng: &mut SplitMix64| {
+                // Sum of uniforms ≈ Gaussian enough for a test fixture.
+                (0..6).map(|_| rng.next_f64() - 0.5).sum::<f64>()
+            };
+            d.push_row(
+                &[
+                    (c + g(&mut rng)) as f32,
+                    (c + g(&mut rng)) as f32,
+                    g(&mut rng) as f32, // pure noise
+                ],
+                pos,
+                i as u32,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let train = gaussian_blobs(600, 1, 1.0);
+        let test = gaussian_blobs(300, 2, 1.0);
+        let m = NaiveBayes::fit(&NaiveBayesConfig::default(), &train);
+        let auc = roc_auc(&m.predict_batch(&test), test.labels());
+        assert!(auc > 0.95, "AUC {auc}");
+    }
+
+    #[test]
+    fn outputs_are_probabilities_summing_with_complement() {
+        let train = gaussian_blobs(200, 3, 0.5);
+        let m = NaiveBayes::fit(&NaiveBayesConfig::default(), &train);
+        for i in 0..train.n_rows() {
+            let p = m.predict_proba(train.row(i));
+            assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn priors_reflect_class_balance() {
+        // 90% negatives: an uninformative row should score near 0.1.
+        let mut d = Dataset::with_dims(1);
+        let mut rng = SplitMix64::new(4);
+        for i in 0..1000 {
+            d.push_row(&[rng.next_f64() as f32], i % 10 == 0, i as u32);
+        }
+        let m = NaiveBayes::fit(&NaiveBayesConfig::default(), &d);
+        let p = m.predict_proba(&[0.5]);
+        assert!((p - 0.1).abs() < 0.06, "prior-dominated p {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let mut d = Dataset::with_dims(1);
+        d.push_row(&[1.0], true, 0);
+        d.push_row(&[2.0], true, 1);
+        NaiveBayes::fit(&NaiveBayesConfig::default(), &d);
+    }
+}

@@ -1,0 +1,446 @@
+//! CART decision tree (Gini impurity) with mean-decrease-in-impurity
+//! feature importances.
+//!
+//! The tree is the paper's second-best single model (Table 6) and the
+//! building block of its best one, the random forest. Importances use the
+//! same MDI construction the paper interprets in Figure 16.
+
+use crate::classifier::{Classifier, Trainer};
+use crate::dataset::Dataset;
+use ssd_stats::SplitMix64;
+
+/// Hyperparameters for CART growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth — the paper's grid-searched regularization knob
+    /// for tree models (Section 5.2).
+    pub max_depth: usize,
+    /// Minimum samples required to consider splitting a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split; `None` = all (plain CART),
+    /// `Some(m)` = uniform random subset of m (used by random forests).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 8,
+            min_samples_leaf: 3,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Split {
+        feature: u16,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        prob: f32,
+    },
+}
+
+/// A fitted decision tree.
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    n_features: usize,
+}
+
+/// Gini impurity of a node with `pos` positives out of `n`.
+#[inline]
+fn gini(pos: f64, n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    n_total: f64,
+    rng: SplitMix64,
+    /// Scratch for per-feature sorted index order.
+    scratch: Vec<u32>,
+    /// Scratch for feature subsampling.
+    feature_pool: Vec<u16>,
+}
+
+impl<'a> Builder<'a> {
+    /// Recursively grows the subtree over `indices`; returns its node id.
+    fn build(&mut self, indices: &mut [u32], depth: usize) -> u32 {
+        let n = indices.len();
+        let pos = indices
+            .iter()
+            .filter(|&&i| self.data.label(i as usize))
+            .count();
+        let node_impurity = gini(pos as f64, n as f64);
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let prob = if n == 0 { 0.5 } else { pos as f32 / n as f32 };
+            nodes.push(Node::Leaf { prob });
+            (nodes.len() - 1) as u32
+        };
+
+        if depth >= self.config.max_depth
+            || n < self.config.min_samples_split
+            || pos == 0
+            || pos == n
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let Some((feature, threshold, gain, split_at)) =
+            self.best_split(indices, node_impurity)
+        else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        // Accumulate MDI: impurity decrease weighted by node mass.
+        self.importances[feature as usize] += gain * n as f64 / self.n_total;
+
+        // Partition indices in place around the chosen threshold.
+        let data = self.data;
+        indices.sort_unstable_by(|&a, &b| {
+            let va = data.row(a as usize)[feature as usize];
+            let vb = data.row(b as usize)[feature as usize];
+            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let (left_idx, right_idx) = indices.split_at_mut(split_at);
+
+        // Reserve this node's slot before building children (pre-order ids).
+        self.nodes.push(Node::Leaf { prob: 0.0 });
+        let me = (self.nodes.len() - 1) as u32;
+        let left = self.build(left_idx, depth + 1);
+        let right = self.build(right_idx, depth + 1);
+        self.nodes[me as usize] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Finds the best (feature, threshold) over the configured feature
+    /// subset. Returns `(feature, threshold, impurity_gain, left_count)`.
+    fn best_split(
+        &mut self,
+        indices: &[u32],
+        node_impurity: f64,
+    ) -> Option<(u16, f32, f64, usize)> {
+        let d = self.data.n_features();
+        let n = indices.len();
+        let n_pos_total = indices
+            .iter()
+            .filter(|&&i| self.data.label(i as usize))
+            .count() as f64;
+
+        // Choose candidate features: all, or a fresh random subset.
+        self.feature_pool.clear();
+        self.feature_pool.extend(0..d as u16);
+        let n_candidates = self.config.max_features.unwrap_or(d).min(d);
+        if n_candidates < d {
+            for i in 0..n_candidates {
+                let j = i + self.rng.next_bounded((d - i) as u64) as usize;
+                self.feature_pool.swap(i, j);
+            }
+        }
+
+        let mut best: Option<(u16, f32, f64, usize)> = None;
+        let min_leaf = self.config.min_samples_leaf;
+
+        for ci in 0..n_candidates {
+            let f = self.feature_pool[ci];
+            let data = self.data;
+            self.scratch.clear();
+            self.scratch.extend_from_slice(indices);
+            self.scratch.sort_unstable_by(|&a, &b| {
+                let va = data.row(a as usize)[f as usize];
+                let vb = data.row(b as usize)[f as usize];
+                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut pos_left = 0.0f64;
+            for k in 0..n - 1 {
+                if self.data.label(self.scratch[k] as usize) {
+                    pos_left += 1.0;
+                }
+                let v_here = self.data.row(self.scratch[k] as usize)[f as usize];
+                let v_next = self.data.row(self.scratch[k + 1] as usize)[f as usize];
+                if v_here == v_next {
+                    continue; // can only split between distinct values
+                }
+                let n_left = (k + 1) as f64;
+                let n_right = n as f64 - n_left;
+                if (n_left as usize) < min_leaf || (n_right as usize) < min_leaf {
+                    continue;
+                }
+                let imp_left = gini(pos_left, n_left);
+                let imp_right = gini(n_pos_total - pos_left, n_right);
+                let weighted = (n_left * imp_left + n_right * imp_right) / n as f64;
+                let gain = node_impurity - weighted;
+                if gain > 1e-12 && best.map_or(true, |b| gain > b.2) {
+                    let threshold = v_here + (v_next - v_here) / 2.0;
+                    best = Some((f, threshold, gain, k + 1));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows of `data` listed in `indices` (pass
+    /// `0..n_rows` for the full set; random forests pass bootstrap draws).
+    /// `seed` drives feature subsampling when `max_features` is set.
+    pub fn fit_on(config: &TreeConfig, data: &Dataset, indices: &[usize], seed: u64) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let mut idx: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+        let mut b = Builder {
+            data,
+            config,
+            nodes: Vec::new(),
+            importances: vec![0.0; data.n_features()],
+            n_total: idx.len() as f64,
+            rng: SplitMix64::new(seed),
+            scratch: Vec::with_capacity(idx.len()),
+            feature_pool: Vec::with_capacity(data.n_features()),
+        };
+        b.build(&mut idx, 0);
+        DecisionTree {
+            nodes: b.nodes,
+            importances: b.importances,
+            n_features: data.n_features(),
+        }
+    }
+
+    /// Fits on the full dataset.
+    pub fn fit(config: &TreeConfig, data: &Dataset, seed: u64) -> Self {
+        let indices: Vec<usize> = (0..data.n_rows()).collect();
+        Self::fit_on(config, data, &indices, seed)
+    }
+
+    /// Raw (unnormalized) per-feature impurity decrease.
+    pub fn raw_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Importances normalized to sum to 1 (all-zero if the tree is a stump).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.n_features];
+        }
+        self.importances.iter().map(|&v| v / total).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: u32) -> usize {
+            match nodes[id as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, left).max(walk(nodes, right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, row: &[f32]) -> f64 {
+        let mut id = 0u32;
+        loop {
+            match self.nodes[id as usize] {
+                Node::Leaf { prob } => return f64::from(prob),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row[feature as usize] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+}
+
+impl Trainer for TreeConfig {
+    fn fit(&self, data: &Dataset, seed: u64) -> Box<dyn Classifier> {
+        Box::new(DecisionTree::fit(self, data, seed))
+    }
+
+    fn name(&self) -> String {
+        "Decision Tree".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+    use ssd_stats::SplitMix64;
+
+    fn xor_data(n: usize, seed: u64) -> Dataset {
+        // XOR: linearly inseparable, trivially tree-separable.
+        let mut rng = SplitMix64::new(seed);
+        let mut d = Dataset::with_dims(2);
+        for i in 0..n {
+            let a = rng.next_f64() * 2.0 - 1.0;
+            let b = rng.next_f64() * 2.0 - 1.0;
+            d.push_row(&[a as f32, b as f32], (a > 0.0) != (b > 0.0), i as u32);
+        }
+        d
+    }
+
+    #[test]
+    fn solves_xor() {
+        let train = xor_data(600, 1);
+        let test = xor_data(200, 2);
+        let m = DecisionTree::fit(&TreeConfig::default(), &train, 0);
+        let scores = m.predict_batch(&test);
+        assert!(roc_auc(&scores, test.labels()) > 0.97);
+    }
+
+    #[test]
+    fn pure_leaves_give_extreme_probabilities() {
+        let mut d = Dataset::with_dims(1);
+        for i in 0..20 {
+            d.push_row(&[if i < 10 { 0.0 } else { 1.0 }], i >= 10, i as u32);
+        }
+        let m = DecisionTree::fit(
+            &TreeConfig {
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
+            &d,
+            0,
+        );
+        assert_eq!(m.predict_proba(&[0.0]), 0.0);
+        assert_eq!(m.predict_proba(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let train = xor_data(500, 3);
+        for max_depth in [1, 2, 4] {
+            let m = DecisionTree::fit(
+                &TreeConfig {
+                    max_depth,
+                    ..Default::default()
+                },
+                &train,
+                0,
+            );
+            assert!(m.depth() <= max_depth, "depth {} > {max_depth}", m.depth());
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_bounds_leaves() {
+        let train = xor_data(300, 4);
+        let m = DecisionTree::fit(
+            &TreeConfig {
+                min_samples_leaf: 50,
+                ..Default::default()
+            },
+            &train,
+            0,
+        );
+        // With 300 rows and ≥50 per leaf there can be at most 6 leaves,
+        // i.e. at most 11 nodes.
+        assert!(m.n_nodes() <= 11, "{} nodes", m.n_nodes());
+    }
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        // Feature 0 is label-defining; feature 1 is noise.
+        let mut rng = SplitMix64::new(5);
+        let mut d = Dataset::with_dims(2);
+        for i in 0..400 {
+            let x = rng.next_f64() as f32;
+            let noise = rng.next_f64() as f32;
+            d.push_row(&[x, noise], x > 0.5, i as u32);
+        }
+        let m = DecisionTree::fit(&TreeConfig::default(), &d, 0);
+        let imp = m.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.9, "informative feature importance {}", imp[0]);
+    }
+
+    #[test]
+    fn constant_labels_make_a_stump() {
+        let mut d = Dataset::with_dims(1);
+        for i in 0..10 {
+            d.push_row(&[i as f32], true, i as u32);
+        }
+        let m = DecisionTree::fit(&TreeConfig::default(), &d, 0);
+        assert_eq!(m.n_nodes(), 1);
+        assert_eq!(m.predict_proba(&[3.0]), 1.0);
+        assert_eq!(m.feature_importances(), vec![0.0]);
+    }
+
+    #[test]
+    fn feature_subsampling_is_seed_deterministic() {
+        let train = xor_data(300, 6);
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            ..Default::default()
+        };
+        let a = DecisionTree::fit(&cfg, &train, 42);
+        let b = DecisionTree::fit(&cfg, &train, 42);
+        let pa = a.predict_batch(&train);
+        let pb = b.predict_batch(&train);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn fit_on_subset_uses_only_those_rows() {
+        let mut d = Dataset::with_dims(1);
+        // Rows 0..10 say "feature>0.5 → positive"; rows 10..20 invert it.
+        for i in 0..10 {
+            d.push_row(&[1.0], true, i as u32);
+            d.push_row(&[0.0], false, i as u32);
+        }
+        for i in 10..20 {
+            d.push_row(&[1.0], false, i as u32);
+            d.push_row(&[0.0], true, i as u32);
+        }
+        let first_half: Vec<usize> = (0..20).collect();
+        let m = DecisionTree::fit_on(&TreeConfig::default(), &d, &first_half, 0);
+        assert!(m.predict_proba(&[1.0]) > 0.5);
+        assert!(m.predict_proba(&[0.0]) < 0.5);
+    }
+}

@@ -1,0 +1,403 @@
+//! Calibration constants: every number here is traceable to a statistic
+//! published in the paper (table/figure cited inline).
+//!
+//! The simulator is *generative*: drives carry latent state (defect class,
+//! error-proneness, wear rate) and the observable log is emitted
+//! conditionally. The constants below parameterize that latent model so the
+//! emitted population statistics match the paper's published marginals.
+
+use crate::dist::PiecewiseCdf;
+use ssd_types::{DriveModel, ErrorKind};
+
+/// Observation horizon of the trace: six years (Section 2).
+pub const HORIZON_DAYS: u32 = 6 * 365;
+
+/// Mean *observable* operational window used to convert lifetime failure
+/// fractions into daily hazards. With the deployment mix below, the mean
+/// observation window is ≈ 1374 days, of which the first 90 are the infant
+/// regime; 1284 days remain exposed to the mature hazard.
+pub const MEAN_MATURE_EXPOSURE_DAYS: f64 = 1284.0;
+
+/// Fraction of drives deployed "early" (uniform over the first two years);
+/// the rest deploy uniformly over years 2–5.5. Produces Figure 1's Max-Age
+/// CDF in which >50% of drives are observed for 4–6 years.
+pub const EARLY_DEPLOY_FRACTION: f64 = 0.55;
+/// Early deployments are uniform over `[0, EARLY_DEPLOY_WINDOW_DAYS)`.
+pub const EARLY_DEPLOY_WINDOW_DAYS: u32 = 730;
+/// Late deployments are uniform over `[730, LATE_DEPLOY_END_DAYS)`.
+pub const LATE_DEPLOY_END_DAYS: u32 = 2010;
+
+/// Daily probability that a report is recorded (small random log gaps make
+/// Figure 1's "Data Count" CDF sit left of "Max Age").
+pub const REPORT_PROBABILITY: f64 = 0.97;
+/// Daily probability that a multi-day logging gap starts.
+pub const GAP_START_PROBABILITY: f64 = 0.004;
+/// Maximum length (days) of a random logging gap.
+pub const GAP_MAX_DAYS: u32 = 10;
+
+/// Infant-mortality boundary (Section 4.1): failures at age ≤ 90 days are
+/// "young"; the failure rate flattens beyond this point (Figure 6).
+pub const INFANCY_DAYS: u32 = 90;
+
+/// Share of a drive's lifetime failure probability that falls in the infant
+/// window: "25% [of failures] occur on drives less than 90 days old"
+/// (Section 4.1, Figure 6).
+pub const INFANT_FAILURE_SHARE: f64 = 0.25;
+
+/// Fraction of the fleet that is *error-prone* (sees non-transparent errors
+/// at all). Figure 10: "in roughly 80% of cases, non-failed drives are not
+/// observed to have experienced any uncorrectable errors."
+pub const ERROR_PRONE_FRACTION: f64 = 0.20;
+
+/// Mature-hazard multiplier for error-prone drives, chosen so that 55% of
+/// mature failures come from error-prone drives (Figure 10: only 45% of old
+/// failures have zero UEs): solve 0.2m / (0.2m + 0.8) = 0.55 → m ≈ 4.89.
+pub const ERROR_PRONE_HAZARD_MULT: f64 = 4.89;
+
+/// Fraction of infant (defective) drives whose defect is *symptomatic*
+/// (emits extreme error counts before failing). Figure 10: 68% of young
+/// failures saw zero UEs, so 32% are symptomatic.
+pub const DEFECT_SYMPTOMATIC_FRACTION: f64 = 0.32;
+
+/// Length of the pre-failure escalation window in days. Figure 11: "error
+/// incidence rates increase dramatically in the two days preceding a drive
+/// failure", with elevated incidence visible out to about a week.
+pub const ESCALATION_WINDOW_DAYS: u32 = 7;
+
+/// Daily UE probability of a *symptomatic defective* drive over its whole
+/// (short) life, not just the escalation window. This is what gives young
+/// failures their extreme cumulative error counts despite short lifetimes
+/// (Figure 10: only 68% of young failures are UE-free, and their tail
+/// counts exceed mature failures' by orders of magnitude).
+pub const DEFECT_UE_DAY_PROB: f64 = 0.08;
+
+/// Escalation-day UE probability for symptomatic drives, indexed by
+/// days-to-failure (0 = the failure day itself). Calibrated so that
+/// P(UE within last 7 days | symptomatic) ≈ 0.40, which at ≈ 55%
+/// symptomatic mature failures yields the fleet-level ≈ 0.25 of Figure 11
+/// (top), with the sharp rise concentrated in the final two days.
+pub const ESCALATION_UE_PROB: [f64; 7] = [0.18, 0.12, 0.05, 0.04, 0.03, 0.03, 0.03];
+
+/// Writes per P/E cycle: cumulative P/E = cumulative writes / this.
+/// Tuned so the median drive accrues ≈ 0.57 cycles/day (≈ 1250 over six
+/// years), reproducing Figure 8 (98% of failures before 1500 cycles while
+/// the fleet's manufacturer limit is 3000) given the workload model below.
+pub const WRITES_PER_PE_CYCLE: f64 = 7.0e7;
+
+/// Median daily write operations for a mature drive (Figure 7: median write
+/// intensity ≈ 0.4–0.6 × 10⁸ per day, flat in age beyond infancy).
+pub const MEDIAN_DAILY_WRITES: f64 = 4.0e7;
+/// Drive-level write-intensity heterogeneity (σ of underlying normal).
+pub const DRIVE_WRITE_SIGMA: f64 = 0.70;
+/// Day-to-day write jitter (σ of underlying normal).
+pub const DAILY_WRITE_SIGMA: f64 = 0.50;
+/// Write-intensity multiplier during the first three months ("younger
+/// drives … experience markedly fewer writes", Figure 7).
+pub const INFANT_WRITE_MULT: f64 = 0.55;
+/// Mean ratio of daily reads to daily writes.
+pub const READ_WRITE_RATIO: f64 = 1.5;
+/// Write operations per erase operation (pages per block).
+pub const WRITES_PER_ERASE: f64 = 128.0;
+
+/// Mean factory bad blocks per drive (Poisson).
+pub const FACTORY_BAD_BLOCK_MEAN: f64 = 3.0;
+
+/// The paper's Table 5 percentages are *observed* re-entry fractions in a
+/// trace that itself censors slow repairs. Our simulation adds its own
+/// horizon censoring on top, so the generative re-entry probability is
+/// scaled up by this factor to land the observed fractions near the
+/// paper's (measured: our horizon eats ≈ 20% of would-be re-entries).
+pub const REENTRY_CENSOR_COMPENSATION: f64 = 1.22;
+
+/// Uncorrectable-error incidence of prone drives ramps with age:
+/// day-probability multiplier 0.3 at age 0 rising to 1.3 at six years
+/// (mean ≈ 0.65 over a typical observation window, divided back out to
+/// preserve the Table 1 marginal). This reproduces Table 2's positive
+/// age↔uncorrectable correlation (0.36) — older drives have both more
+/// exposure and higher instantaneous error rates.
+pub const UE_AGE_RAMP_BASE: f64 = 0.3;
+/// Slope of the UE age ramp (per day of age).
+pub const UE_AGE_RAMP_SLOPE: f64 = 1.0 / 2190.0;
+/// Mean of the UE age ramp over a typical observation window.
+pub const UE_AGE_RAMP_MEAN: f64 = 0.65;
+
+/// Per-drive clustering (σ of a mean-1 log-normal) of read-retry errors.
+/// Strong clustering makes an error type predictable from its own history;
+/// the paper's Table 8 reaches AUC 0.971 for read errors, the highest of
+/// all targets, implying heavy per-drive concentration.
+pub const READ_ERR_SIGMA: f64 = 2.2;
+/// Per-drive clustering of write-retry errors (Table 8: AUC 0.916).
+pub const WRITE_ERR_SIGMA: f64 = 2.0;
+/// Per-drive clustering of erase errors (Table 8: AUC 0.889); combines
+/// with the wear coupling of Table 2.
+pub const ERASE_ERR_SIGMA: f64 = 1.8;
+/// Per-drive clustering of controller glitches — the meta / response /
+/// timeout / final-write family (Table 8: AUCs 0.75–0.85).
+pub const GLITCH_SIGMA: f64 = 1.6;
+
+/// Probability that a failure's final days show a workload drain (the
+/// scheduler backing off a sick drive). Together with the symptomatic
+/// error escalation this bounds the achievable prediction AUC near the
+/// paper's 0.905 at N = 1: failures with neither signal are only
+/// predictable from drive history and age.
+pub const DECLINE_BEFORE_FAILURE_PROB: f64 = 0.70;
+
+/// Probability that a failure is preceded by a reported-but-inactive
+/// period ("a period of inactivity like this is experienced prior to 36% of
+/// swaps", Section 3).
+pub const INACTIVITY_BEFORE_SWAP_PROB: f64 = 0.36;
+
+/// Probability that the drive goes completely silent (no reports) for at
+/// least one day before the swap ("roughly 80% of the time", Section 3).
+pub const SILENT_BEFORE_SWAP_PROB: f64 = 0.80;
+
+/// Per-model calibration parameters.
+#[derive(Debug, Clone)]
+pub struct ModelParams {
+    /// Which drive model these parameters describe.
+    pub model: DriveModel,
+    /// Lifetime fraction of drives that fail at least once (Table 3).
+    pub failed_fraction: f64,
+    /// Probability that a swapped drive is ever observed to re-enter the
+    /// field (Table 5, "∞" column).
+    pub reentry_prob: f64,
+    /// Per-day probability that a drive day exhibits each error type
+    /// (Table 1), *marginal over the whole fleet*.
+    pub error_day_prob: [f64; ErrorKind::COUNT],
+    /// Repair-duration CDF conditional on eventual re-entry (Table 5
+    /// columns normalized by the ∞ column).
+    pub repair_cdf: PiecewiseCdf,
+}
+
+/// Anchors of the pre-swap non-operational-period CDF (Figure 4): ~20%
+/// swapped within 1 day, ~80% within 7 days, ~8% longer than 100 days,
+/// with a log-scale tail beyond a year.
+pub fn non_operational_cdf() -> PiecewiseCdf {
+    PiecewiseCdf::new(
+        vec![
+            (1.0, 0.20),
+            (7.0, 0.80),
+            (30.0, 0.88),
+            (100.0, 0.92),
+            (365.0, 0.99),
+            (1000.0, 1.0),
+        ],
+        true,
+    )
+}
+
+/// Anchors of the pre-failure inactivity-length CDF (Section 3: "less than
+/// one week in a large majority of cases").
+pub fn inactivity_cdf() -> PiecewiseCdf {
+    PiecewiseCdf::new(
+        vec![(1.0, 0.30), (3.0, 0.62), (7.0, 0.90), (14.0, 0.97), (30.0, 1.0)],
+        true,
+    )
+}
+
+/// Infant failure-age CDF: conditional on an infant failure, 60% occur in
+/// the first 30 days (Section 4.1: 15% of all failures < 30 days out of the
+/// 25% < 90 days), with density decaying across the infancy window
+/// (Figure 6's early spike).
+pub fn infant_age_cdf() -> PiecewiseCdf {
+    PiecewiseCdf::new(
+        vec![(1.0, 0.02), (10.0, 0.25), (30.0, 0.60), (60.0, 0.85), (90.0, 1.0)],
+        true,
+    )
+}
+
+impl ModelParams {
+    /// Calibrated parameters for one of the three MLC models.
+    pub fn for_model(model: DriveModel) -> Self {
+        // Table 1, column per model, in ErrorKind canonical order:
+        // [correctable, erase, final_read, final_write, meta, read,
+        //  response, timeout, uncorrectable, write].
+        // Erase-error day probability is not published in Table 1; we use
+        // 0.0008 (between write- and final-read-error incidence) as the
+        // base, modulated by wear in the error model (Table 2 shows erase
+        // errors are the error type most correlated with P/E cycles).
+        let (failed_fraction, reentry_prob, error_day_prob) = match model {
+            DriveModel::MlcA => (
+                0.0695,
+                0.534,
+                [
+                    0.828895, 0.0008, 0.001077, 0.000026, 0.000014, 0.000090, 0.000001,
+                    0.000009, 0.002176, 0.000117,
+                ],
+            ),
+            DriveModel::MlcB => (
+                0.143,
+                0.439,
+                [
+                    0.776308, 0.0008, 0.001805, 0.000027, 0.000016, 0.000103, 0.000004,
+                    0.000010, 0.002349, 0.001309,
+                ],
+            ),
+            DriveModel::MlcD => (
+                0.125,
+                0.576,
+                [
+                    0.767593, 0.0008, 0.001552, 0.000034, 0.000028, 0.000133, 0.000002,
+                    0.000014, 0.002583, 0.000162,
+                ],
+            ),
+        };
+        // Table 5 re-entry percentages normalized by the ∞ column give the
+        // repair-duration CDF conditional on return. The paper's maximum
+        // observed repair time is 4.85 years ≈ 1770 days.
+        let repair_cdf = match model {
+            DriveModel::MlcA => PiecewiseCdf::new(
+                vec![
+                    (3.0, 0.02),
+                    (10.0, 0.064),
+                    (30.0, 0.094),
+                    (100.0, 0.114),
+                    (365.0, 0.326),
+                    (730.0, 0.704),
+                    (1095.0, 0.817),
+                    (1770.0, 1.0),
+                ],
+                true,
+            ),
+            DriveModel::MlcB => PiecewiseCdf::new(
+                vec![
+                    (3.0, 0.05),
+                    (10.0, 0.155),
+                    (30.0, 0.214),
+                    (100.0, 0.289),
+                    (365.0, 0.576),
+                    (730.0, 0.822),
+                    (1095.0, 0.973),
+                    (1770.0, 1.0),
+                ],
+                true,
+            ),
+            DriveModel::MlcD => PiecewiseCdf::new(
+                vec![
+                    (3.0, 0.03),
+                    (10.0, 0.085),
+                    (30.0, 0.141),
+                    (100.0, 0.274),
+                    (365.0, 0.488),
+                    (730.0, 0.755),
+                    (1095.0, 0.872),
+                    (1770.0, 1.0),
+                ],
+                true,
+            ),
+        };
+        ModelParams {
+            model,
+            failed_fraction,
+            reentry_prob,
+            error_day_prob,
+            repair_cdf,
+        }
+    }
+
+    /// Probability that a (first-deployment) drive suffers an infant
+    /// failure: `failed_fraction × INFANT_FAILURE_SHARE`.
+    pub fn infant_failure_prob(&self) -> f64 {
+        self.failed_fraction * INFANT_FAILURE_SHARE
+    }
+
+    /// Baseline per-day mature hazard for a *non-error-prone* drive, chosen
+    /// so the population-mean mature failure probability over the mean
+    /// exposure window matches `failed_fraction × (1 − INFANT_FAILURE_SHARE)`.
+    ///
+    /// The fleet-mean hazard `h` solves
+    /// `1 − exp(−h · MEAN_MATURE_EXPOSURE_DAYS) = target`, and is then split
+    /// between prone and non-prone drives so that
+    /// `p·m·h' + (1−p)·h' = h` with `m = ERROR_PRONE_HAZARD_MULT`.
+    pub fn mature_daily_hazard_base(&self) -> f64 {
+        let target = self.failed_fraction * (1.0 - INFANT_FAILURE_SHARE)
+            / (1.0 - self.infant_failure_prob());
+        let h = -(1.0 - target).ln() / MEAN_MATURE_EXPOSURE_DAYS;
+        let p = ERROR_PRONE_FRACTION;
+        h / (p * ERROR_PRONE_HAZARD_MULT + (1.0 - p))
+    }
+
+    /// Per-day mature hazard for an error-prone drive.
+    pub fn mature_daily_hazard_prone(&self) -> f64 {
+        self.mature_daily_hazard_base() * ERROR_PRONE_HAZARD_MULT
+    }
+
+    /// Base per-day probability of this error kind (Table 1 marginal).
+    #[inline]
+    pub fn error_prob(&self, kind: ErrorKind) -> f64 {
+        self.error_day_prob[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_loaded() {
+        let a = ModelParams::for_model(DriveModel::MlcA);
+        assert_eq!(a.error_prob(ErrorKind::Correctable), 0.828895);
+        assert_eq!(a.error_prob(ErrorKind::Uncorrectable), 0.002176);
+        let b = ModelParams::for_model(DriveModel::MlcB);
+        assert_eq!(b.error_prob(ErrorKind::Write), 0.001309);
+        let d = ModelParams::for_model(DriveModel::MlcD);
+        assert_eq!(d.error_prob(ErrorKind::FinalRead), 0.001552);
+    }
+
+    #[test]
+    fn failure_fractions_match_table3() {
+        assert_eq!(ModelParams::for_model(DriveModel::MlcA).failed_fraction, 0.0695);
+        assert_eq!(ModelParams::for_model(DriveModel::MlcB).failed_fraction, 0.143);
+        assert_eq!(ModelParams::for_model(DriveModel::MlcD).failed_fraction, 0.125);
+    }
+
+    #[test]
+    fn hazard_reconstructs_failure_fraction() {
+        // The prone/non-prone hazard mix must average back to the fleet
+        // hazard implied by the mature failure target.
+        for m in DriveModel::ALL {
+            let p = ModelParams::for_model(m);
+            let base = p.mature_daily_hazard_base();
+            let prone = p.mature_daily_hazard_prone();
+            let mean_h =
+                ERROR_PRONE_FRACTION * prone + (1.0 - ERROR_PRONE_FRACTION) * base;
+            let implied = 1.0 - (-mean_h * MEAN_MATURE_EXPOSURE_DAYS).exp();
+            let target = p.failed_fraction * (1.0 - INFANT_FAILURE_SHARE)
+                / (1.0 - p.infant_failure_prob());
+            assert!(
+                (implied - target).abs() < 1e-12,
+                "{m}: implied {implied} target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn infant_share_is_25_percent() {
+        let p = ModelParams::for_model(DriveModel::MlcB);
+        assert!((p.infant_failure_prob() / p.failed_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_cdfs_are_well_formed() {
+        // Constructing each CDF runs its internal validation.
+        non_operational_cdf();
+        inactivity_cdf();
+        infant_age_cdf();
+        for m in DriveModel::ALL {
+            let _ = ModelParams::for_model(m);
+        }
+    }
+
+    #[test]
+    fn infant_age_median_is_under_30_days() {
+        let cdf = infant_age_cdf();
+        assert!(cdf.inverse(0.5) <= 30.0);
+        assert!(cdf.inverse(0.999) <= 90.0);
+    }
+
+    #[test]
+    fn prone_drives_fail_more() {
+        let p = ModelParams::for_model(DriveModel::MlcD);
+        assert!(p.mature_daily_hazard_prone() > 4.0 * p.mature_daily_hazard_base());
+    }
+}

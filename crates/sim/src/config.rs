@@ -1,0 +1,81 @@
+//! Fleet-simulation configuration.
+
+use crate::calibration::HORIZON_DAYS;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for generating a synthetic fleet trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Drives per model (the paper's trace has "over 10,000 unique drives
+    /// for each drive model").
+    pub drives_per_model: u32,
+    /// Observation horizon in days (the paper's trace spans six years).
+    pub horizon_days: u32,
+    /// Master seed; every drive derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Paper-scale fleet: 10,000 drives per model over six years.
+    /// Produces tens of millions of daily reports — expect multi-GB memory.
+    pub fn paper_scale(seed: u64) -> Self {
+        SimConfig {
+            drives_per_model: 10_000,
+            horizon_days: HORIZON_DAYS,
+            seed,
+        }
+    }
+
+    /// Default scale: 2,000 drives per model — enough for all population
+    /// statistics to stabilize while staying laptop-friendly.
+    pub fn default_scale(seed: u64) -> Self {
+        SimConfig {
+            drives_per_model: 2_000,
+            horizon_days: HORIZON_DAYS,
+            seed,
+        }
+    }
+
+    /// Small fleets for unit/integration tests.
+    pub fn test_scale(seed: u64) -> Self {
+        SimConfig {
+            drives_per_model: 300,
+            horizon_days: HORIZON_DAYS,
+            seed,
+        }
+    }
+
+    /// Total drives across all three models.
+    pub fn total_drives(&self) -> u32 {
+        self.drives_per_model * 3
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::default_scale(0x55D_F1E1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let p = SimConfig::paper_scale(1);
+        let d = SimConfig::default_scale(1);
+        let t = SimConfig::test_scale(1);
+        assert!(p.drives_per_model > d.drives_per_model);
+        assert!(d.drives_per_model > t.drives_per_model);
+        assert_eq!(p.total_drives(), 30_000);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SimConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

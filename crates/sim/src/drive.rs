@@ -1,0 +1,502 @@
+//! Day-by-day emission of a single drive's log from its lifecycle plan.
+
+use crate::calibration::{self, ModelParams};
+use crate::dist;
+use crate::errors::{sample_day as sample_errors, ErrorContext, Escalation};
+use crate::health::{DriveTraits, LifecyclePlan};
+use crate::workload::sample_day as sample_workload;
+use ssd_stats::SplitMix64;
+use ssd_types::{DailyReport, DriveId, DriveLog, DriveModel, SwapEvent};
+
+/// Phase of a drive's life on a given age day, derived from its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Normal operation; `days_to_failure` is set when a symptomatic
+    /// failure lies within the escalation window.
+    Operational { days_to_failure: Option<u32> },
+    /// Failed but still reporting with zero provisioned activity.
+    InactiveReported,
+    /// Failed and silent (no reports) until the swap.
+    Silent,
+    /// Physically swapped out; in the repair process (no reports).
+    InRepair,
+    /// Beyond the observation horizon or after a terminal silent failure.
+    Gone,
+}
+
+/// Resolves the phase of `age` from the plan.
+fn phase_at(plan: &LifecyclePlan, age: u32) -> Phase {
+    if age >= plan.horizon_age {
+        return Phase::Gone;
+    }
+    if let Some(t) = plan.terminal_unswapped_failure {
+        if age > t {
+            // After a terminal failure the drive goes quiet forever (its
+            // swap is beyond the horizon). Approximate the mixed
+            // inactive/silent tail as silence.
+            return Phase::Gone;
+        }
+    }
+    for f in &plan.failures {
+        if age <= f.fail_day {
+            // Possibly within the escalation window of this failure.
+            let dtf = f.fail_day - age;
+            let escalating = f.symptomatic && dtf < calibration::ESCALATION_WINDOW_DAYS;
+            // Only operational if this failure is the next event (i.e. the
+            // age is after any previous re-entry, which the loop order
+            // guarantees since failures are chronological).
+            return Phase::Operational {
+                days_to_failure: escalating.then_some(dtf),
+            };
+        }
+        if age <= f.fail_day + f.inactive_days {
+            return Phase::InactiveReported;
+        }
+        if age < f.swap_day {
+            return Phase::Silent;
+        }
+        match f.reentry_day {
+            Some(re) if age >= re => continue, // next failure (or tail) applies
+            Some(_) => return Phase::InRepair,
+            None => return Phase::InRepair,
+        }
+    }
+    Phase::Operational {
+        days_to_failure: None,
+    }
+}
+
+/// Activity multiplier applied in the final days before *any* failure:
+/// workload drains as the data-center scheduler backs off the sick drive.
+/// This is the signal behind the paper's Figure 16, where daily read and
+/// write counts rank among the most important mature-failure features
+/// ("a drive is more likely to not have any activity before a failure").
+fn activity_decline(plan: &LifecyclePlan, age: u32) -> f64 {
+    let mut next_fail: Option<(u32, f64)> = None;
+    for f in &plan.failures {
+        if age <= f.fail_day {
+            next_fail = Some((f.fail_day, f.decline));
+            break;
+        }
+        // Inside this failure's non-operational window or later periods:
+        // keep scanning only if we're past its re-entry.
+        match f.reentry_day {
+            Some(re) if age >= re => continue,
+            _ => break,
+        }
+    }
+    match next_fail {
+        Some((day, floor)) if floor < 1.0 => {
+            // Ramp from full workload three days out down to the
+            // per-failure floor on the failure day itself.
+            match (day - age) as usize {
+                0 => floor,
+                1 => floor + (1.0 - floor) * 0.5,
+                2 => floor + (1.0 - floor) * 0.8,
+                _ => 1.0,
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+/// Days until the next failure of any kind (symptomatic or silent), when
+/// within the escalation window.
+fn days_to_next_failure(plan: &LifecyclePlan, age: u32) -> Option<u32> {
+    for f in &plan.failures {
+        if age <= f.fail_day {
+            let dtf = f.fail_day - age;
+            return (dtf < calibration::ESCALATION_WINDOW_DAYS).then_some(dtf);
+        }
+        match f.reentry_day {
+            Some(re) if age >= re => continue,
+            _ => return None,
+        }
+    }
+    plan.terminal_unswapped_failure.and_then(|t| {
+        (age <= t && t - age < calibration::ESCALATION_WINDOW_DAYS).then(|| t - age)
+    })
+}
+
+/// Infant flag and symptomatic flag for the failure whose escalation window
+/// covers `age`, if any.
+fn escalation_for(plan: &LifecyclePlan, age: u32) -> Option<Escalation> {
+    for f in &plan.failures {
+        if age <= f.fail_day
+            && f.symptomatic
+            && f.fail_day - age < calibration::ESCALATION_WINDOW_DAYS
+        {
+            return Some(Escalation {
+                days_to_failure: f.fail_day - age,
+                infant: f.infant,
+            });
+        }
+        if age <= f.fail_day {
+            return None;
+        }
+    }
+    None
+}
+
+/// Generates the complete log for one drive.
+///
+/// All randomness derives from `rng`, which callers seed per-drive
+/// (see [`crate::fleet`]), making generation order- and thread-independent.
+pub fn generate_drive(
+    id: DriveId,
+    model: DriveModel,
+    params: &ModelParams,
+    horizon_days: u32,
+    rng: &mut SplitMix64,
+) -> DriveLog {
+    let traits = DriveTraits::sample(params, rng);
+    let plan = LifecyclePlan::sample(params, &traits, horizon_days, rng);
+    emit_log(id, model, params, &traits, &plan, rng)
+}
+
+/// Emits the daily log for a drive with known traits and plan (separated
+/// from [`generate_drive`] so tests can inject specific plans).
+pub fn emit_log(
+    id: DriveId,
+    model: DriveModel,
+    params: &ModelParams,
+    traits: &DriveTraits,
+    plan: &LifecyclePlan,
+    rng: &mut SplitMix64,
+) -> DriveLog {
+    let mut log = DriveLog::new(id, model);
+    log.reports.reserve(plan.horizon_age as usize);
+
+    let mut pe_accum = 0.0f64;
+    let mut grown_bad_blocks = 0u32;
+    let mut read_only = false;
+    let mut gap_remaining = 0u32;
+
+    for age in 0..plan.horizon_age {
+        let phase = phase_at(plan, age);
+        match phase {
+            Phase::Gone => break,
+            Phase::Silent | Phase::InRepair => {
+                // No report. Reset any read-only latch on repair (the
+                // repaired drive returns refurbished).
+                if phase == Phase::InRepair {
+                    read_only = false;
+                }
+                continue;
+            }
+            Phase::InactiveReported => {
+                // Failed-but-reporting: zero activity, dead flag usually set.
+                let mut r = DailyReport::empty(age);
+                r.pe_cycles = pe_accum as u32;
+                r.factory_bad_blocks = traits.factory_bad_blocks;
+                r.grown_bad_blocks = grown_bad_blocks;
+                r.status_dead = dist::bernoulli(rng, 0.7);
+                r.status_read_only = read_only;
+                log.reports.push(r);
+            }
+            Phase::Operational { days_to_failure } => {
+                // Random logging gaps (Figure 1: Data Count < Max Age).
+                if gap_remaining > 0 {
+                    gap_remaining -= 1;
+                    // Workload still happens during unlogged days; account
+                    // for its wear so P/E stays consistent.
+                    let w = sample_workload(traits, age, rng);
+                    pe_accum += w.pe_increment;
+                    continue;
+                }
+                if dist::bernoulli(rng, calibration::GAP_START_PROBABILITY) {
+                    gap_remaining =
+                        1 + rng.next_bounded(u64::from(calibration::GAP_MAX_DAYS)) as u32;
+                }
+                if !dist::bernoulli(rng, calibration::REPORT_PROBABILITY) {
+                    let w = sample_workload(traits, age, rng);
+                    pe_accum += w.pe_increment;
+                    continue;
+                }
+
+                // The drive is defect-symptomatic while heading toward an
+                // infant symptomatic failure in its first operational
+                // period.
+                let defect_symptomatic = plan
+                    .failures
+                    .first()
+                    .map(|f| f.infant && f.symptomatic && age <= f.fail_day)
+                    .unwrap_or(false);
+                let mut w = sample_workload(traits, age, rng);
+                let decline = activity_decline(plan, age);
+                if decline < 1.0 {
+                    w.read_ops = ((w.read_ops as f64) * decline) as u64;
+                    // Keep the failure day "active" (≥ 1 op) so the
+                    // failure-point definition still lands on it.
+                    w.write_ops = (((w.write_ops as f64) * decline) as u64).max(1);
+                    w.erase_ops = ((w.erase_ops as f64) * decline) as u64;
+                    w.pe_increment *= decline;
+                }
+                pe_accum += w.pe_increment;
+                let ctx = ErrorContext {
+                    age_days: age,
+                    pe_cycles: pe_accum as u32,
+                    escalation: days_to_failure.and(escalation_for(plan, age)),
+                    defect_symptomatic,
+                    pre_failure_days: days_to_next_failure(plan, age),
+                };
+                let (errors, new_blocks) = sample_errors(params, traits, &ctx, rng);
+                grown_bad_blocks = grown_bad_blocks.saturating_add(new_blocks);
+                // A drive sometimes latches read-only mode during its final
+                // symptomatic decline.
+                if ctx.escalation.is_some() && !read_only && dist::bernoulli(rng, 0.08) {
+                    read_only = true;
+                }
+
+                let mut r = DailyReport::empty(age);
+                r.read_ops = if read_only { w.read_ops } else { w.read_ops };
+                r.write_ops = if read_only { 0 } else { w.write_ops };
+                r.erase_ops = if read_only { 0 } else { w.erase_ops };
+                r.pe_cycles = pe_accum as u32;
+                r.factory_bad_blocks = traits.factory_bad_blocks;
+                r.grown_bad_blocks = grown_bad_blocks;
+                r.status_read_only = read_only;
+                r.errors = errors;
+                log.reports.push(r);
+            }
+        }
+    }
+
+    for f in &plan.failures {
+        log.swaps.push(SwapEvent {
+            swap_day: f.swap_day,
+            reentry_day: f.reentry_day,
+        });
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::PlannedFailure;
+
+    fn params() -> ModelParams {
+        ModelParams::for_model(DriveModel::MlcB)
+    }
+
+    fn traits() -> DriveTraits {
+        let mut rng = SplitMix64::new(0);
+        let mut t = DriveTraits::sample(&params(), &mut rng);
+        t.error_prone = true;
+        t.ue_day_prob = 0.01;
+        t
+    }
+
+    fn plan_with_failure() -> LifecyclePlan {
+        LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 400,
+            failures: vec![PlannedFailure {
+                fail_day: 200,
+                inactive_days: 3,
+                swap_day: 210,
+                reentry_day: Some(300),
+                symptomatic: true,
+                infant: false,
+                decline: 0.2,
+            }],
+            terminal_unswapped_failure: None,
+        }
+    }
+
+    #[test]
+    fn emitted_log_validates() {
+        let p = params();
+        let t = traits();
+        let plan = plan_with_failure();
+        let mut rng = SplitMix64::new(42);
+        let log = emit_log(DriveId(1), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+        log.validate().expect("log invariants");
+        assert_eq!(log.swaps.len(), 1);
+        assert_eq!(log.swaps[0].swap_day, 210);
+        assert_eq!(log.swaps[0].reentry_day, Some(300));
+    }
+
+    #[test]
+    fn silent_window_has_no_reports_and_inactive_window_reports_zero_activity() {
+        let p = params();
+        let t = traits();
+        let plan = plan_with_failure();
+        let mut rng = SplitMix64::new(43);
+        let log = emit_log(DriveId(1), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+        // Inactive reported window: ages 201..=203 report with no activity.
+        for r in log.reports.iter().filter(|r| (201..=203).contains(&r.age_days)) {
+            assert!(!r.is_active(), "inactive window must have no reads/writes");
+        }
+        // Silent window: ages 204..210 and repair 210..300 have no reports.
+        assert!(
+            !log.reports.iter().any(|r| (204..300).contains(&r.age_days)),
+            "no reports during silence/repair"
+        );
+        // Operation resumes at re-entry.
+        assert!(log.reports.iter().any(|r| r.age_days >= 300));
+    }
+
+    #[test]
+    fn pe_cycles_are_monotone_and_grow() {
+        let p = params();
+        let t = traits();
+        let plan = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 600,
+            failures: vec![],
+            terminal_unswapped_failure: None,
+        };
+        let mut rng = SplitMix64::new(44);
+        let log = emit_log(DriveId(2), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+        assert!(log.reports.len() > 500);
+        let first = log.reports.first().unwrap().pe_cycles;
+        let last = log.reports.last().unwrap().pe_cycles;
+        assert!(last > first);
+        log.validate().unwrap();
+    }
+
+    #[test]
+    fn terminal_failure_stops_reporting_without_swap() {
+        let p = params();
+        let t = traits();
+        let plan = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 500,
+            failures: vec![],
+            terminal_unswapped_failure: Some(100),
+        };
+        let mut rng = SplitMix64::new(45);
+        let log = emit_log(DriveId(3), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+        assert!(log.swaps.is_empty());
+        assert!(log.reports.iter().all(|r| r.age_days <= 100));
+    }
+
+    #[test]
+    fn escalation_days_show_elevated_errors() {
+        let p = params();
+        let mut t = traits();
+        t.ue_day_prob = 0.0; // isolate the escalation signal
+        t.error_prone = true;
+        let mut ue_days_near_failure = 0u32;
+        let mut trials = 0u32;
+        for seed in 0..300 {
+            let plan = plan_with_failure();
+            let mut rng = SplitMix64::new(seed);
+            let log = emit_log(DriveId(4), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+            for r in &log.reports {
+                if (194..=200).contains(&r.age_days) {
+                    trials += 1;
+                    if r.errors.get(ssd_types::ErrorKind::Uncorrectable) > 0 {
+                        ue_days_near_failure += 1;
+                    }
+                }
+            }
+        }
+        let rate = f64::from(ue_days_near_failure) / f64::from(trials);
+        // Mean of the escalation schedule ≈ 0.069.
+        assert!(rate > 0.03, "escalation rate {rate}");
+    }
+
+    #[test]
+    fn multi_failure_lifecycle_emits_correct_phases() {
+        let p = params();
+        let t = traits();
+        let plan = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 1000,
+            failures: vec![
+                PlannedFailure {
+                    fail_day: 100,
+                    inactive_days: 2,
+                    swap_day: 110,
+                    reentry_day: Some(200),
+                    symptomatic: false,
+                    infant: false,
+                    decline: 1.0,
+                },
+                PlannedFailure {
+                    fail_day: 500,
+                    inactive_days: 0,
+                    swap_day: 505,
+                    reentry_day: None,
+                    symptomatic: true,
+                    infant: false,
+                    decline: 0.3,
+                },
+            ],
+            terminal_unswapped_failure: None,
+        };
+        let mut rng = SplitMix64::new(77);
+        let log = emit_log(DriveId(8), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+        log.validate().unwrap();
+        assert_eq!(log.swaps.len(), 2);
+        // No reports in either repair window.
+        assert!(!log.reports.iter().any(|r| (110..200).contains(&r.age_days)));
+        assert!(!log.reports.iter().any(|r| r.age_days >= 505));
+        // Second life exists.
+        assert!(log.reports.iter().any(|r| (200..500).contains(&r.age_days)));
+        // Activity decline on the second failure day: its write volume
+        // should sit well below the drive's typical day.
+        let fail_day_writes = log
+            .reports
+            .iter()
+            .find(|r| r.age_days == 500)
+            .map(|r| r.write_ops);
+        if let Some(w) = fail_day_writes {
+            let typical: Vec<u64> = log
+                .reports
+                .iter()
+                .filter(|r| (300..450).contains(&r.age_days))
+                .map(|r| r.write_ops)
+                .collect();
+            let mean = typical.iter().sum::<u64>() / typical.len().max(1) as u64;
+            assert!(w < mean, "declined day {w} vs typical {mean}");
+        }
+    }
+
+    #[test]
+    fn defect_symptomatic_infants_emit_persistent_ues() {
+        let p = params();
+        let mut t = traits();
+        t.error_prone = false;
+        t.ue_day_prob = 0.0;
+        let plan = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 300,
+            failures: vec![PlannedFailure {
+                fail_day: 60,
+                inactive_days: 0,
+                swap_day: 65,
+                reentry_day: None,
+                symptomatic: true,
+                infant: true,
+                decline: 1.0,
+            }],
+            terminal_unswapped_failure: None,
+        };
+        let mut ue_days = 0u32;
+        for seed in 0..50 {
+            let mut rng = SplitMix64::new(seed);
+            let log = emit_log(DriveId(9), DriveModel::MlcB, &p, &t, &plan, &mut rng);
+            ue_days += log
+                .reports
+                .iter()
+                .filter(|r| r.errors.get(ssd_types::ErrorKind::Uncorrectable) > 0)
+                .count() as u32;
+        }
+        // ~60 days × 8% × 50 runs ≈ 240 expected; assert well above zero.
+        assert!(ue_days > 100, "persistent defect UEs: {ue_days}");
+    }
+
+    #[test]
+    fn generate_drive_is_deterministic() {
+        let p = params();
+        let mut r1 = SplitMix64::for_stream(5, 17);
+        let mut r2 = SplitMix64::for_stream(5, 17);
+        let a = generate_drive(DriveId(9), DriveModel::MlcB, &p, 2190, &mut r1);
+        let b = generate_drive(DriveId(9), DriveModel::MlcB, &p, 2190, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Parallel fleet generation.
+//!
+//! Each drive's randomness derives from `SplitMix64::for_stream(seed, id)`,
+//! so the trace is a pure function of the configuration: the same fleet is
+//! produced regardless of thread count or generation order (verified by a
+//! determinism test comparing single- and multi-threaded output).
+
+use crate::calibration::ModelParams;
+use crate::config::SimConfig;
+use crate::drive::generate_drive;
+use rayon::prelude::*;
+use ssd_stats::SplitMix64;
+use ssd_types::{DriveId, DriveModel, FleetTrace};
+
+/// Generates a complete fleet trace in parallel.
+pub fn generate_fleet(config: &SimConfig) -> FleetTrace {
+    let params: Vec<ModelParams> = DriveModel::ALL
+        .iter()
+        .map(|&m| ModelParams::for_model(m))
+        .collect();
+    let n = config.total_drives();
+    let drives = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            // Drives are striped across models: id % 3 picks the model, so
+            // per-model sub-fleets are equally sized and id-stable.
+            let model = DriveModel::from_index((i % 3) as usize);
+            let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
+            generate_drive(
+                DriveId(i),
+                model,
+                &params[model.index()],
+                config.horizon_days,
+                &mut rng,
+            )
+        })
+        .collect();
+    FleetTrace {
+        horizon_days: config.horizon_days,
+        drives,
+    }
+}
+
+/// Sequential reference implementation of [`generate_fleet`], used to
+/// verify thread-count independence.
+pub fn generate_fleet_sequential(config: &SimConfig) -> FleetTrace {
+    let params: Vec<ModelParams> = DriveModel::ALL
+        .iter()
+        .map(|&m| ModelParams::for_model(m))
+        .collect();
+    let drives = (0..config.total_drives())
+        .map(|i| {
+            let model = DriveModel::from_index((i % 3) as usize);
+            let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
+            generate_drive(
+                DriveId(i),
+                model,
+                &params[model.index()],
+                config.horizon_days,
+                &mut rng,
+            )
+        })
+        .collect();
+    FleetTrace {
+        horizon_days: config.horizon_days,
+        drives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimConfig {
+        SimConfig {
+            drives_per_model: 60,
+            horizon_days: 800,
+            seed: 123,
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let cfg = tiny();
+        let a = generate_fleet(&cfg);
+        let b = generate_fleet_sequential(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_validates_and_has_all_models() {
+        let trace = generate_fleet(&tiny());
+        trace.validate().expect("trace invariants");
+        for m in DriveModel::ALL {
+            assert_eq!(trace.drives_of(m).count(), 60);
+        }
+        assert!(trace.total_drive_days() > 10_000);
+    }
+
+    #[test]
+    fn different_seeds_give_different_fleets() {
+        let mut cfg = tiny();
+        let a = generate_fleet(&cfg);
+        cfg.seed = 456;
+        let b = generate_fleet(&cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let cfg = tiny();
+        assert_eq!(generate_fleet(&cfg), generate_fleet(&cfg));
+    }
+
+    #[test]
+    fn some_failures_occur_at_test_scale() {
+        let cfg = SimConfig {
+            drives_per_model: 300,
+            horizon_days: crate::calibration::HORIZON_DAYS,
+            seed: 7,
+        };
+        let trace = generate_fleet(&cfg);
+        let failed = trace.drives.iter().filter(|d| d.ever_failed()).count();
+        // Fleet mean failed fraction ≈ 11%; at 900 drives expect ~100.
+        assert!(failed > 40, "only {failed} failed drives");
+        assert!(failed < 250, "{failed} failed drives is too many");
+    }
+}

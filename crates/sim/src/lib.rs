@@ -1,0 +1,58 @@
+//! # ssd-sim
+//!
+//! Generative SSD fleet simulator — the substitution for the proprietary
+//! Google trace studied in *"SSD Failures in the Field"* (SC '19).
+//!
+//! The paper's data gate (Appendix: the trace is not public) is bridged by
+//! a latent-state generative model calibrated to every population statistic
+//! the paper publishes:
+//!
+//! * failure incidence per model (Table 3) and repeat-failure counts
+//!   (Table 4) via per-drive hazard processes with an infant-defect
+//!   subpopulation;
+//! * error-type day-probabilities (Table 1) via per-kind emission models
+//!   with an error-prone subpopulation (Figure 10);
+//! * the swap/repair lifecycle (Figures 2–5, Table 5) via piecewise-CDF
+//!   samplers anchored at the paper's published percentages;
+//! * pre-failure error escalation (Figure 11) via a symptomatic-failure
+//!   escalation window;
+//! * workload and wear (Figures 7–9) via log-normal write intensity with
+//!   an infant under-provisioning multiplier and writes-per-P/E accrual.
+//!
+//! Everything downstream (characterization, ML) consumes only the emitted
+//! [`ssd_types::FleetTrace`]; the latent state never leaks, so prediction
+//! difficulty is preserved.
+//!
+//! ## Determinism
+//!
+//! Every drive's randomness derives from `SplitMix64::for_stream(seed,
+//! drive_id)`; fleet generation is embarrassingly parallel (rayon) and
+//! bit-identical across thread counts.
+//!
+//! ```
+//! use ssd_sim::{generate_fleet, SimConfig};
+//!
+//! let trace = generate_fleet(&SimConfig {
+//!     drives_per_model: 50,
+//!     horizon_days: 365,
+//!     seed: 1,
+//! });
+//! assert_eq!(trace.n_drives(), 150);
+//! trace.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod config;
+pub mod dist;
+pub mod drive;
+pub mod errors;
+pub mod fleet;
+pub mod health;
+pub mod workload;
+
+pub use calibration::ModelParams;
+pub use config::SimConfig;
+pub use fleet::{generate_fleet, generate_fleet_sequential};
+pub use health::{DriveTraits, LifecyclePlan, PlannedFailure};

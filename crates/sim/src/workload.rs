@@ -1,0 +1,138 @@
+//! Daily workload generation: read/write/erase operations and P/E accrual.
+//!
+//! Figure 7 of the paper shows that daily write intensity is roughly flat
+//! in drive age — except that *infant* drives see markedly **fewer** writes
+//! (ruling out the burn-in hypothesis for infant mortality). The model
+//! here reproduces exactly that: a drive-level log-normal intensity, daily
+//! log-normal jitter, and a < 1 multiplier during the first three months.
+
+use crate::calibration;
+use crate::dist;
+use crate::health::DriveTraits;
+use ssd_stats::SplitMix64;
+
+/// One day's workload counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayWorkload {
+    /// Read operations served.
+    pub read_ops: u64,
+    /// Write operations served.
+    pub write_ops: u64,
+    /// Erase operations performed.
+    pub erase_ops: u64,
+    /// Fractional P/E cycles accrued this day (accumulated by the caller).
+    pub pe_increment: f64,
+}
+
+/// Age-dependent write-intensity multiplier: reduced during the infancy
+/// window, ramping to 1.0 over the fourth month (Figure 7).
+pub fn age_multiplier(age_days: u32) -> f64 {
+    let infancy = calibration::INFANCY_DAYS;
+    if age_days < infancy {
+        calibration::INFANT_WRITE_MULT
+    } else if age_days < infancy + 30 {
+        // Linear ramp from the infant multiplier to full intensity.
+        let t = f64::from(age_days - infancy) / 30.0;
+        calibration::INFANT_WRITE_MULT + t * (1.0 - calibration::INFANT_WRITE_MULT)
+    } else {
+        1.0
+    }
+}
+
+/// Samples one operational day's workload for a drive of the given age.
+pub fn sample_day(traits: &DriveTraits, age_days: u32, rng: &mut SplitMix64) -> DayWorkload {
+    let jitter = dist::log_normal(rng, 0.0, calibration::DAILY_WRITE_SIGMA);
+    let write_ops = (calibration::MEDIAN_DAILY_WRITES
+        * traits.write_factor
+        * age_multiplier(age_days)
+        * jitter)
+        .max(0.0);
+    let read_jitter = dist::log_normal(rng, 0.0, 0.25);
+    let read_ops = write_ops * traits.read_ratio * read_jitter;
+    let erase_ops = write_ops / calibration::WRITES_PER_ERASE;
+    let pe_increment = write_ops / calibration::WRITES_PER_PE_CYCLE;
+    DayWorkload {
+        read_ops: to_ops(read_ops),
+        write_ops: to_ops(write_ops),
+        erase_ops: to_ops(erase_ops),
+        pe_increment,
+    }
+}
+
+#[inline]
+fn to_ops(x: f64) -> u64 {
+    x.min(1e18).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::ModelParams;
+    use ssd_types::DriveModel;
+
+    fn traits(seed: u64) -> DriveTraits {
+        let p = ModelParams::for_model(DriveModel::MlcA);
+        let mut rng = SplitMix64::for_stream(seed, 0);
+        DriveTraits::sample(&p, &mut rng)
+    }
+
+    #[test]
+    fn age_multiplier_shape() {
+        assert_eq!(age_multiplier(0), calibration::INFANT_WRITE_MULT);
+        assert_eq!(age_multiplier(89), calibration::INFANT_WRITE_MULT);
+        assert!(age_multiplier(105) > calibration::INFANT_WRITE_MULT);
+        assert!(age_multiplier(105) < 1.0);
+        assert_eq!(age_multiplier(120), 1.0);
+        assert_eq!(age_multiplier(2000), 1.0);
+    }
+
+    #[test]
+    fn infant_days_have_fewer_writes_in_expectation() {
+        let t = traits(1);
+        let mut rng = SplitMix64::new(10);
+        let n = 4000;
+        let young: f64 = (0..n)
+            .map(|_| sample_day(&t, 30, &mut rng).write_ops as f64)
+            .sum::<f64>()
+            / n as f64;
+        let old: f64 = (0..n)
+            .map(|_| sample_day(&t, 400, &mut rng).write_ops as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            young < 0.75 * old,
+            "young mean {young} should be well below old mean {old}"
+        );
+    }
+
+    #[test]
+    fn pe_increment_tracks_writes() {
+        let t = traits(2);
+        let mut rng = SplitMix64::new(3);
+        let d = sample_day(&t, 500, &mut rng);
+        let expected = d.write_ops as f64 / calibration::WRITES_PER_PE_CYCLE;
+        assert!((d.pe_increment - expected).abs() / expected < 0.01);
+        assert!(d.erase_ops > 0);
+        assert!(d.read_ops > 0);
+    }
+
+    #[test]
+    fn median_daily_pe_rate_is_sub_unity() {
+        // The fleet-median P/E accrual must keep six-year totals well under
+        // the 3000-cycle limit (Figure 8: most failures < 1500 cycles).
+        let mut rates = Vec::new();
+        for seed in 0..300 {
+            let t = traits(seed);
+            let mut rng = SplitMix64::for_stream(99, seed);
+            let mean_inc: f64 = (0..50)
+                .map(|_| sample_day(&t, 1000, &mut rng).pe_increment)
+                .sum::<f64>()
+                / 50.0;
+            rates.push(mean_inc);
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rates[rates.len() / 2];
+        assert!(median < 1.0, "median daily P/E rate {median}");
+        assert!(median > 0.2, "median daily P/E rate {median}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Empirical CDFs, including right-censored masses at infinity.
+//!
+//! Several of the paper's figures are CDFs with an explicit bar "centered
+//! at infinity" for observations whose end was never observed: operational
+//! periods that never failed (Figure 3) and repairs that never completed
+//! (Figure 5). [`Ecdf`] models this with an optional censored count, so
+//! `eval(x)` converges to the *observed* fraction rather than 1.
+
+/// Empirical cumulative distribution function over finite samples, plus an
+/// optional number of right-censored ("never observed to end") samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+    censored: u64,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from finite samples (unsorted) with no censoring.
+    pub fn new(samples: &[f64]) -> Self {
+        Self::with_censored(samples, 0)
+    }
+
+    /// Builds an ECDF from finite samples plus `censored` samples known only
+    /// to exceed every finite observation (probability mass at +∞).
+    pub fn with_censored(samples: &[f64], censored: u64) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted, censored }
+    }
+
+    /// Total sample count including censored mass.
+    pub fn total(&self) -> u64 {
+        self.sorted.len() as u64 + self.censored
+    }
+
+    /// Number of finite (uncensored) samples.
+    pub fn n_finite(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Fraction of total mass that is censored (the ∞ bar height).
+    pub fn censored_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.censored as f64 / self.total() as f64
+        }
+    }
+
+    /// Evaluates `P(X ≤ x)` over the *total* mass (censored samples never
+    /// count as ≤ any finite x). Returns 0 for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let le = self.sorted.partition_point(|&v| v <= x);
+        le as f64 / total as f64
+    }
+
+    /// The smallest observed value `v` such that `eval(v) ≥ q`, i.e. the
+    /// q-quantile of the observed distribution. Returns `None` if the
+    /// requested quantile falls in the censored mass or the ECDF is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+        let total = self.total();
+        if total == 0 || self.sorted.is_empty() {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        if target > self.sorted.len() as u64 {
+            return None; // falls into the censored (∞) mass
+        }
+        Some(self.sorted[(target - 1) as usize])
+    }
+
+    /// Returns the step points `(x, P(X ≤ x))` of the ECDF — one per
+    /// distinct sample value — suitable for plotting or serialization.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let total = self.total();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / total as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Evaluates the ECDF at each of `xs` (convenience for plotting a fixed
+    /// grid, e.g. the month marks of Figure 6).
+    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 0.75);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn censored_mass_caps_the_cdf() {
+        // 2 finite samples + 8 censored: CDF tops out at 0.2 (Figure 3's
+        // ">80% of operational periods are not observed to end").
+        let e = Ecdf::with_censored(&[10.0, 20.0], 8);
+        assert_eq!(e.total(), 10);
+        assert_eq!(e.eval(1e12), 0.2);
+        assert!((e.censored_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_respect_censoring() {
+        let e = Ecdf::with_censored(&[1.0, 2.0, 3.0, 4.0, 5.0], 5);
+        assert_eq!(e.quantile(0.1), Some(1.0));
+        assert_eq!(e.quantile(0.5), Some(5.0));
+        assert_eq!(e.quantile(0.6), None); // inside the ∞ mass
+    }
+
+    #[test]
+    fn quantile_uncensored() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.quantile(0.25), Some(1.0));
+        assert_eq!(e.quantile(0.5), Some(2.0));
+        assert_eq!(e.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn steps_are_monotone_and_deduplicated() {
+        let e = Ecdf::new(&[5.0, 1.0, 5.0, 2.0, 2.0]);
+        let s = e.steps();
+        assert_eq!(s.len(), 3);
+        for w in s.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_ecdf() {
+        let e = Ecdf::new(&[]);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.steps().is_empty());
+        assert_eq!(e.censored_fraction(), 0.0);
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0]);
+        let xs = [0.0, 1.5, 3.0];
+        assert_eq!(e.eval_many(&xs), vec![0.0, 1.0 / 3.0, 1.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Exposure-normalized event rates.
+//!
+//! Figure 6's dashed line is built exactly this way: "we normalize the
+//! number of swaps within a month by the amount of drives represented in
+//! the data at that month to produce an unbiased failure rate for each
+//! month". The same construction with P/E-cycle bins yields Figure 8's
+//! dashed line. [`BinnedRate`] accumulates `events` and `exposure`
+//! (drives at risk) per bin and reports their ratio.
+
+/// Accumulator for per-bin event rates normalized by per-bin exposure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedRate {
+    events: Vec<u64>,
+    exposure: Vec<u64>,
+}
+
+impl BinnedRate {
+    /// Creates an accumulator with `n_bins` bins.
+    pub fn new(n_bins: usize) -> Self {
+        BinnedRate {
+            events: vec![0; n_bins],
+            exposure: vec![0; n_bins],
+        }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Records `n` events in bin `bin` (e.g. failures in an age month).
+    pub fn add_events(&mut self, bin: usize, n: u64) {
+        self.events[bin] += n;
+    }
+
+    /// Records `n` units of exposure in bin `bin` (e.g. drives observed
+    /// alive during that age month).
+    pub fn add_exposure(&mut self, bin: usize, n: u64) {
+        self.exposure[bin] += n;
+    }
+
+    /// Raw event counts per bin.
+    pub fn events(&self) -> &[u64] {
+        &self.events
+    }
+
+    /// Raw exposure per bin.
+    pub fn exposure(&self) -> &[u64] {
+        &self.exposure
+    }
+
+    /// Rate per bin: `events / exposure`, NaN where exposure is zero.
+    pub fn rates(&self) -> Vec<f64> {
+        self.events
+            .iter()
+            .zip(&self.exposure)
+            .map(|(&e, &x)| if x == 0 { f64::NAN } else { e as f64 / x as f64 })
+            .collect()
+    }
+
+    /// Merges another accumulator with the same bin count.
+    pub fn merge(&mut self, other: &BinnedRate) {
+        assert_eq!(self.events.len(), other.events.len(), "bin count mismatch");
+        for (a, b) in self.events.iter_mut().zip(&other.events) {
+            *a += b;
+        }
+        for (a, b) in self.exposure.iter_mut().zip(&other.exposure) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_events_over_exposure() {
+        let mut r = BinnedRate::new(3);
+        r.add_events(0, 2);
+        r.add_exposure(0, 100);
+        r.add_events(1, 1);
+        r.add_exposure(1, 1000);
+        let rates = r.rates();
+        assert!((rates[0] - 0.02).abs() < 1e-12);
+        assert!((rates[1] - 0.001).abs() < 1e-12);
+        assert!(rates[2].is_nan()); // no exposure recorded
+    }
+
+    #[test]
+    fn normalization_corrects_population_skew() {
+        // Same number of events in two bins, but bin 1 has 10x the
+        // population: its rate must be 10x smaller. This is exactly the
+        // bias correction of Figure 6.
+        let mut r = BinnedRate::new(2);
+        r.add_events(0, 5);
+        r.add_exposure(0, 100);
+        r.add_events(1, 5);
+        r.add_exposure(1, 1000);
+        let rates = r.rates();
+        assert!((rates[0] / rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BinnedRate::new(2);
+        a.add_events(0, 1);
+        a.add_exposure(0, 10);
+        let mut b = BinnedRate::new(2);
+        b.add_events(0, 1);
+        b.add_exposure(0, 10);
+        a.merge(&b);
+        assert_eq!(a.events()[0], 2);
+        assert_eq!(a.exposure()[0], 20);
+        assert!((a.rates()[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = BinnedRate::new(2);
+        a.merge(&BinnedRate::new(3));
+    }
+}

@@ -1,0 +1,154 @@
+//! Fixed-width histograms.
+
+/// A histogram with fixed-width bins over `[lo, hi)`.
+///
+/// Values below `lo` are clamped into the first bin; values at or above
+/// `hi` go into the last bin. This matches how the paper bins P/E cycles
+/// "in increments of 250 cycles" (Figure 8) with a final open-ended bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n_bins` equal-width bins covering
+    /// `[lo, lo + n_bins * width)`.
+    pub fn new(lo: f64, width: f64, n_bins: usize) -> Self {
+        assert!(width > 0.0, "bin width must be positive");
+        assert!(n_bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            width,
+            counts: vec![0; n_bins],
+        }
+    }
+
+    /// Index of the bin a value falls into (clamped at both ends).
+    pub fn bin_of(&self, x: f64) -> usize {
+        if x < self.lo {
+            return 0;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+    }
+
+    /// Adds `weight` observations at `x`.
+    pub fn push_n(&mut self, x: f64, weight: u64) {
+        let b = self.bin_of(x);
+        self.counts[b] += weight;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total count across all bins.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.width
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.bin_lo(i) + self.width / 2.0
+    }
+
+    /// Per-bin fractions of the total (empty histogram → all zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let t = self.total();
+        if t == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / t as f64).collect()
+    }
+
+    /// Merges another histogram with identical geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram geometry mismatch");
+        assert_eq!(self.width, other.width, "histogram geometry mismatch");
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 3); // [0,10) [10,20) [20,∞)
+        h.push(-5.0); // clamps to bin 0
+        h.push(0.0);
+        h.push(9.999);
+        h.push(10.0);
+        h.push(25.0);
+        h.push(1e9); // clamps to last bin
+        assert_eq!(h.counts(), &[3, 1, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn centers_and_edges() {
+        let h = Histogram::new(100.0, 50.0, 4);
+        assert_eq!(h.bin_lo(0), 100.0);
+        assert_eq!(h.bin_lo(3), 250.0);
+        assert_eq!(h.bin_center(0), 125.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..10 {
+            h.push(i as f64 * 0.5);
+        }
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_push() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push_n(0.5, 7);
+        assert_eq!(h.counts(), &[7, 0]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        a.push(0.5);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        b.push(1.5);
+        b.push(0.2);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 2.0, 2);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Tie-aware fractional ranking.
+
+/// Assigns fractional ranks (1-based, ties receive the average of the ranks
+/// they span), the convention required by the Spearman correlation.
+///
+/// Example: `[10, 20, 20, 30]` → `[1.0, 2.5, 2.5, 4.0]`.
+pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in rank input")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the extent of the tie group starting at sorted position i.
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties_is_permutation_rank() {
+        assert_eq!(
+            fractional_ranks(&[30.0, 10.0, 20.0]),
+            vec![3.0, 1.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        assert_eq!(
+            fractional_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn all_equal_all_same_rank() {
+        let r = fractional_ranks(&[5.0; 4]);
+        assert_eq!(r, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(fractional_ranks(&[]).is_empty());
+        assert_eq!(fractional_ranks(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        // Sum of ranks must always be n(n+1)/2 regardless of ties.
+        let v = [3.0, 1.0, 3.0, 2.0, 3.0, 1.0];
+        let s: f64 = fractional_ranks(&v).iter().sum();
+        assert_eq!(s, (v.len() * (v.len() + 1)) as f64 / 2.0);
+    }
+}

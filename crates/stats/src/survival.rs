@@ -1,0 +1,250 @@
+//! Kaplan–Meier survival estimation for right-censored durations.
+//!
+//! Figures 3 and 5 of the paper are duration distributions with heavy
+//! right-censoring (operational periods that never failed; repairs that
+//! never finished). The paper plots raw ECDFs with an "∞" bar; the
+//! Kaplan–Meier product-limit estimator is the principled alternative that
+//! uses censored observations as partial information instead of a lump,
+//! and this library offers both views.
+
+/// One observed duration: its length and whether the terminal event was
+/// observed (`event = true`) or the observation was censored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duration {
+    /// Elapsed time (days).
+    pub time: f64,
+    /// True if the event (failure / repair completion) occurred at `time`;
+    /// false if observation simply stopped there.
+    pub event: bool,
+}
+
+/// A fitted Kaplan–Meier curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    /// `(time, S(time))` steps at each distinct event time, where `S` is
+    /// the estimated survival probability.
+    steps: Vec<(f64, f64)>,
+    n_events: usize,
+    n_censored: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the product-limit estimator.
+    ///
+    /// At each distinct event time `t` with `d` events and `n` subjects at
+    /// risk, survival multiplies by `(1 − d/n)`. Censored observations
+    /// leave the risk set without contributing an event.
+    pub fn fit(durations: &[Duration]) -> Self {
+        let mut sorted: Vec<Duration> = durations.to_vec();
+        sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("NaN duration"));
+        let n_events = sorted.iter().filter(|d| d.event).count();
+        let n_censored = sorted.len() - n_events;
+
+        let mut steps = Vec::new();
+        let mut at_risk = sorted.len() as f64;
+        let mut survival = 1.0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].time;
+            let mut events = 0.0;
+            let mut leaving = 0.0;
+            while i < sorted.len() && sorted[i].time == t {
+                if sorted[i].event {
+                    events += 1.0;
+                }
+                leaving += 1.0;
+                i += 1;
+            }
+            if events > 0.0 {
+                survival *= 1.0 - events / at_risk;
+                steps.push((t, survival));
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier {
+            steps,
+            n_events,
+            n_censored,
+        }
+    }
+
+    /// Survival probability `S(t)` (right-continuous step function).
+    pub fn survival(&self, t: f64) -> f64 {
+        match self.steps.partition_point(|&(time, _)| time <= t) {
+            0 => 1.0,
+            k => self.steps[k - 1].1,
+        }
+    }
+
+    /// Event-probability CDF `F(t) = 1 − S(t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.survival(t)
+    }
+
+    /// The `(time, survival)` steps.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+
+    /// Median survival time, if the curve drops below 0.5.
+    pub fn median(&self) -> Option<f64> {
+        self.steps.iter().find(|&&(_, s)| s <= 0.5).map(|&(t, _)| t)
+    }
+
+    /// Number of observed events.
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// Number of censored observations.
+    pub fn n_censored(&self) -> usize {
+        self.n_censored
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum absolute gap
+/// between the empirical CDFs of two samples. Used to quantify the
+/// separation between young- and old-failure distributions (Figures 9–10).
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Asymptotic two-sample KS p-value (Smirnov's approximation). Small
+/// p ⇒ the samples come from different distributions.
+pub fn ks_p_value(d: f64, n_a: usize, n_b: usize) -> f64 {
+    let n = (n_a as f64 * n_b as f64) / (n_a as f64 + n_b as f64);
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    // Kolmogorov distribution tail: 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = 2.0 * (-1.0f64).powi(k - 1) * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        p += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(time: f64, event: bool) -> Duration {
+        Duration { time, event }
+    }
+
+    #[test]
+    fn textbook_km_example() {
+        // Classic example: events at 6, 7, 10, censored at 9 and 11.
+        let data = [
+            obs(6.0, true),
+            obs(7.0, true),
+            obs(9.0, false),
+            obs(10.0, true),
+            obs(11.0, false),
+        ];
+        let km = KaplanMeier::fit(&data);
+        // S(6) = 4/5 = 0.8; S(7) = 0.8 * 3/4 = 0.6;
+        // S(10) = 0.6 * 1/2 = 0.3 (risk set 2 after censoring at 9).
+        assert!((km.survival(6.0) - 0.8).abs() < 1e-12);
+        assert!((km.survival(7.0) - 0.6).abs() < 1e-12);
+        assert!((km.survival(10.0) - 0.3).abs() < 1e-12);
+        assert_eq!(km.survival(5.0), 1.0);
+        assert_eq!(km.n_events(), 3);
+        assert_eq!(km.n_censored(), 2);
+    }
+
+    #[test]
+    fn no_censoring_matches_ecdf() {
+        let times = [1.0, 2.0, 3.0, 4.0];
+        let data: Vec<Duration> = times.iter().map(|&t| obs(t, true)).collect();
+        let km = KaplanMeier::fit(&data);
+        for (k, &t) in times.iter().enumerate() {
+            let expected = 1.0 - (k + 1) as f64 / 4.0;
+            assert!((km.survival(t) - expected).abs() < 1e-12);
+        }
+        assert_eq!(km.cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn all_censored_stays_at_one() {
+        let data: Vec<Duration> = (1..=5).map(|t| obs(t as f64, false)).collect();
+        let km = KaplanMeier::fit(&data);
+        assert_eq!(km.survival(100.0), 1.0);
+        assert_eq!(km.median(), None);
+        assert!(km.steps().is_empty());
+    }
+
+    #[test]
+    fn median_detection() {
+        let data: Vec<Duration> = (1..=10).map(|t| obs(t as f64, true)).collect();
+        let km = KaplanMeier::fit(&data);
+        assert_eq!(km.median(), Some(5.0));
+    }
+
+    #[test]
+    fn censoring_shifts_survival_up() {
+        // Same event times, but extra censored mass: survival at any t
+        // must be ≥ the fully-observed version.
+        let events: Vec<Duration> = (1..=10).map(|t| obs(t as f64, true)).collect();
+        let mut censored = events.clone();
+        censored.extend((1..=10).map(|t| obs(t as f64 + 0.5, false)));
+        let a = KaplanMeier::fit(&events);
+        let b = KaplanMeier::fit(&censored);
+        for t in 1..=10 {
+            assert!(b.survival(t as f64) >= a.survival(t as f64) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!(ks_statistic(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_value() {
+        // a = {1,2}, b = {1.5, 3}: max gap = 0.5 at x ∈ [1,1.5) or [2,3).
+        let d = ks_statistic(&[1.0, 2.0], &[1.5, 3.0]);
+        assert!((d - 0.5).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn ks_p_value_behaviour() {
+        // Identical distributions: large p; disjoint: tiny p.
+        assert!(ks_p_value(0.05, 500, 500) > 0.5);
+        assert!(ks_p_value(0.9, 500, 500) < 1e-6);
+        // p is a probability.
+        for d in [0.0, 0.2, 0.5, 1.0] {
+            let p = ks_p_value(d, 50, 80);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

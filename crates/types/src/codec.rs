@@ -1,0 +1,316 @@
+//! Compact binary (de)serialization for fleet traces.
+//!
+//! A 30,000-drive, six-year trace holds tens of millions of daily reports;
+//! JSON is convenient for interchange but far too large for archival, so
+//! this module provides a simple length-prefixed binary format built on
+//! [`bytes`]. Integers use LEB128 varint encoding since most counters are
+//! small most days (errors are rare — Table 1).
+//!
+//! The format is versioned by a magic header so stale archives fail loudly
+//! rather than decode garbage.
+
+use crate::{
+    DailyReport, DriveId, DriveLog, DriveModel, ErrorCounts, ErrorKind, FleetTrace, SwapEvent,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes + format version prefix.
+const MAGIC: &[u8; 8] = b"SSDFS\0v1";
+
+/// Errors arising during decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer did not begin with the expected magic/version header.
+    BadMagic,
+    /// The buffer ended before a complete value was read.
+    UnexpectedEof,
+    /// A varint exceeded the width of its target type.
+    VarintOverflow,
+    /// An enum discriminant was out of range.
+    BadDiscriminant(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic/version header"),
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            DecodeError::VarintOverflow => write!(f, "varint overflow"),
+            DecodeError::BadDiscriminant(d) => write!(f, "bad enum discriminant {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+fn get_varint_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+}
+
+fn encode_report(buf: &mut BytesMut, r: &DailyReport) {
+    put_varint(buf, u64::from(r.age_days));
+    put_varint(buf, r.read_ops);
+    put_varint(buf, r.write_ops);
+    put_varint(buf, r.erase_ops);
+    put_varint(buf, u64::from(r.pe_cycles));
+    let flags = u8::from(r.status_dead) | (u8::from(r.status_read_only) << 1);
+    buf.put_u8(flags);
+    put_varint(buf, u64::from(r.factory_bad_blocks));
+    put_varint(buf, u64::from(r.grown_bad_blocks));
+    for (_, c) in r.errors.iter() {
+        put_varint(buf, c);
+    }
+}
+
+fn decode_report(buf: &mut Bytes) -> Result<DailyReport, DecodeError> {
+    let age_days = get_varint_u32(buf)?;
+    let read_ops = get_varint(buf)?;
+    let write_ops = get_varint(buf)?;
+    let erase_ops = get_varint(buf)?;
+    let pe_cycles = get_varint_u32(buf)?;
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let flags = buf.get_u8();
+    let factory_bad_blocks = get_varint_u32(buf)?;
+    let grown_bad_blocks = get_varint_u32(buf)?;
+    let mut errors = ErrorCounts::zero();
+    for kind in ErrorKind::ALL {
+        errors.set(kind, get_varint(buf)?);
+    }
+    Ok(DailyReport {
+        age_days,
+        read_ops,
+        write_ops,
+        erase_ops,
+        pe_cycles,
+        status_dead: flags & 1 != 0,
+        status_read_only: flags & 2 != 0,
+        factory_bad_blocks,
+        grown_bad_blocks,
+        errors,
+    })
+}
+
+fn encode_drive(buf: &mut BytesMut, d: &DriveLog) {
+    put_varint(buf, u64::from(d.id.0));
+    buf.put_u8(d.model.index() as u8);
+    put_varint(buf, d.reports.len() as u64);
+    for r in &d.reports {
+        encode_report(buf, r);
+    }
+    put_varint(buf, d.swaps.len() as u64);
+    for s in &d.swaps {
+        put_varint(buf, u64::from(s.swap_day));
+        match s.reentry_day {
+            Some(day) => {
+                buf.put_u8(1);
+                put_varint(buf, u64::from(day));
+            }
+            None => buf.put_u8(0),
+        }
+    }
+}
+
+fn decode_drive(buf: &mut Bytes) -> Result<DriveLog, DecodeError> {
+    let id = DriveId(get_varint_u32(buf)?);
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let model_idx = buf.get_u8();
+    if usize::from(model_idx) >= DriveModel::ALL.len() {
+        return Err(DecodeError::BadDiscriminant(model_idx));
+    }
+    let model = DriveModel::from_index(usize::from(model_idx));
+    let n_reports = get_varint(buf)? as usize;
+    let mut reports = Vec::with_capacity(n_reports.min(1 << 20));
+    for _ in 0..n_reports {
+        reports.push(decode_report(buf)?);
+    }
+    let n_swaps = get_varint(buf)? as usize;
+    let mut swaps = Vec::with_capacity(n_swaps.min(1 << 10));
+    for _ in 0..n_swaps {
+        let swap_day = get_varint_u32(buf)?;
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let reentry_day = match buf.get_u8() {
+            0 => None,
+            1 => Some(get_varint_u32(buf)?),
+            d => return Err(DecodeError::BadDiscriminant(d)),
+        };
+        swaps.push(SwapEvent {
+            swap_day,
+            reentry_day,
+        });
+    }
+    Ok(DriveLog {
+        id,
+        model,
+        reports,
+        swaps,
+    })
+}
+
+/// Encodes a fleet trace into the compact binary format.
+pub fn encode_trace(trace: &FleetTrace) -> Bytes {
+    // Rough pre-size: ~40 bytes per report avoids repeated reallocation.
+    let mut buf = BytesMut::with_capacity(64 + trace.total_drive_days() * 40);
+    buf.put_slice(MAGIC);
+    put_varint(&mut buf, u64::from(trace.horizon_days));
+    put_varint(&mut buf, trace.drives.len() as u64);
+    for d in &trace.drives {
+        encode_drive(&mut buf, d);
+    }
+    buf.freeze()
+}
+
+/// Decodes a fleet trace previously produced by [`encode_trace`].
+pub fn decode_trace(mut buf: Bytes) -> Result<FleetTrace, DecodeError> {
+    if buf.remaining() < MAGIC.len() || &buf.split_to(MAGIC.len())[..] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let horizon_days = get_varint_u32(&mut buf)?;
+    let n_drives = get_varint(&mut buf)? as usize;
+    let mut drives = Vec::with_capacity(n_drives.min(1 << 22));
+    for _ in 0..n_drives {
+        drives.push(decode_drive(&mut buf)?);
+    }
+    Ok(FleetTrace {
+        horizon_days,
+        drives,
+    })
+}
+
+/// Serializes a trace to a pretty JSON string (interchange / inspection).
+pub fn trace_to_json(trace: &FleetTrace) -> serde_json::Result<String> {
+    serde_json::to_string(trace)
+}
+
+/// Deserializes a trace from JSON.
+pub fn trace_from_json(s: &str) -> serde_json::Result<FleetTrace> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> FleetTrace {
+        let mut t = FleetTrace::new(2190);
+        for i in 0..3u32 {
+            let mut d = DriveLog::new(DriveId(i), DriveModel::from_index(i as usize));
+            for day in 0..5u32 {
+                let mut r = DailyReport::empty(day * 2);
+                r.read_ops = u64::from(day) * 1000 + u64::from(i);
+                r.write_ops = u64::from(day) * 500;
+                r.erase_ops = u64::from(day) * 3;
+                r.pe_cycles = day * 7;
+                r.status_read_only = day == 4;
+                r.grown_bad_blocks = day;
+                r.errors.set(ErrorKind::Correctable, u64::from(day) * 12345);
+                r.errors.set(ErrorKind::Uncorrectable, u64::from(day % 2));
+                d.reports.push(r);
+            }
+            if i == 1 {
+                d.swaps.push(SwapEvent {
+                    swap_day: 11,
+                    reentry_day: Some(60),
+                });
+                d.swaps.push(SwapEvent {
+                    swap_day: 90,
+                    reentry_day: None,
+                });
+            }
+            t.drives.push(d);
+        }
+        t
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        let back = decode_trace(bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let t = sample_trace();
+        let s = trace_to_json(&t).unwrap();
+        let back = trace_from_json(&s).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let t = sample_trace();
+        let bin = encode_trace(&t).len();
+        let json = trace_to_json(&t).unwrap().len();
+        assert!(bin * 3 < json, "binary {bin} vs json {json}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = decode_trace(Bytes::from_static(b"NOTMAGIC!!")).unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        let cut = bytes.slice(0..bytes.len() - 5);
+        assert!(decode_trace(cut).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_detected() {
+        // 11 continuation bytes exceed u64 capacity.
+        let mut b = Bytes::from_static(&[0xff; 11]);
+        assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
+    }
+}

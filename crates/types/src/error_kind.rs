@@ -1,0 +1,199 @@
+//! The ten-error taxonomy of the trace (Section 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The ten error types reported in the daily log, in the paper's order.
+///
+/// Section 2 splits these into two classes:
+///
+/// * **transparent** errors may be hidden from the user (the drive recovers
+///   internally): correctable, read, write, and erase errors;
+/// * **non-transparent** errors are user-visible lapses of drive function:
+///   final read, final write, meta, response, timeout, and uncorrectable
+///   errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Bits found corrupted and corrected by drive-internal ECC during reads.
+    Correctable,
+    /// Erase operations that failed.
+    Erase,
+    /// Read operations that failed even after drive-initiated retries.
+    FinalRead,
+    /// Write operations that failed even after drive-initiated retries.
+    FinalWrite,
+    /// Errors encountered while reading drive-internal metadata.
+    Meta,
+    /// Read operations that errored but succeeded on retry.
+    Read,
+    /// Bad responses from the drive.
+    Response,
+    /// Operations that timed out after some wait period.
+    Timeout,
+    /// Uncorrectable ECC errors encountered during read operations.
+    Uncorrectable,
+    /// Write operations that errored but succeeded on retry.
+    Write,
+}
+
+/// Transparency class of an error type (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// May be hidden from the user.
+    Transparent,
+    /// May not be hidden from the user.
+    NonTransparent,
+}
+
+impl ErrorKind {
+    /// Number of distinct error kinds.
+    pub const COUNT: usize = 10;
+
+    /// All error kinds in canonical order (stable indices for dense arrays).
+    pub const ALL: [ErrorKind; Self::COUNT] = [
+        ErrorKind::Correctable,
+        ErrorKind::Erase,
+        ErrorKind::FinalRead,
+        ErrorKind::FinalWrite,
+        ErrorKind::Meta,
+        ErrorKind::Read,
+        ErrorKind::Response,
+        ErrorKind::Timeout,
+        ErrorKind::Uncorrectable,
+        ErrorKind::Write,
+    ];
+
+    /// Dense index of this kind within [`ErrorKind::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ErrorKind::Correctable => 0,
+            ErrorKind::Erase => 1,
+            ErrorKind::FinalRead => 2,
+            ErrorKind::FinalWrite => 3,
+            ErrorKind::Meta => 4,
+            ErrorKind::Read => 5,
+            ErrorKind::Response => 6,
+            ErrorKind::Timeout => 7,
+            ErrorKind::Uncorrectable => 8,
+            ErrorKind::Write => 9,
+        }
+    }
+
+    /// Inverse of [`ErrorKind::index`]. Panics on out-of-range input.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Transparency class per Section 2 of the paper.
+    pub fn class(self) -> ErrorClass {
+        match self {
+            ErrorKind::Correctable | ErrorKind::Read | ErrorKind::Write | ErrorKind::Erase => {
+                ErrorClass::Transparent
+            }
+            ErrorKind::FinalRead
+            | ErrorKind::FinalWrite
+            | ErrorKind::Meta
+            | ErrorKind::Response
+            | ErrorKind::Timeout
+            | ErrorKind::Uncorrectable => ErrorClass::NonTransparent,
+        }
+    }
+
+    /// True if this error type is non-transparent (user-visible).
+    #[inline]
+    pub fn is_non_transparent(self) -> bool {
+        self.class() == ErrorClass::NonTransparent
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Correctable => "correctable error",
+            ErrorKind::Erase => "erase error",
+            ErrorKind::FinalRead => "final read error",
+            ErrorKind::FinalWrite => "final write error",
+            ErrorKind::Meta => "meta error",
+            ErrorKind::Read => "read error",
+            ErrorKind::Response => "response error",
+            ErrorKind::Timeout => "timeout error",
+            ErrorKind::Uncorrectable => "uncorrectable error",
+            ErrorKind::Write => "write error",
+        }
+    }
+
+    /// Short identifier suitable for column headers and feature names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ErrorKind::Correctable => "corr",
+            ErrorKind::Erase => "erase",
+            ErrorKind::FinalRead => "final_read",
+            ErrorKind::FinalWrite => "final_write",
+            ErrorKind::Meta => "meta",
+            ErrorKind::Read => "read",
+            ErrorKind::Response => "response",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Uncorrectable => "uncorr",
+            ErrorKind::Write => "write",
+        }
+    }
+
+    /// The non-transparent error kinds, in canonical order.
+    pub fn non_transparent() -> impl Iterator<Item = ErrorKind> {
+        Self::ALL.into_iter().filter(|k| k.is_non_transparent())
+    }
+
+    /// The transparent error kinds, in canonical order.
+    pub fn transparent() -> impl Iterator<Item = ErrorKind> {
+        Self::ALL.into_iter().filter(|k| !k.is_non_transparent())
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_and_order() {
+        for (i, k) in ErrorKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(ErrorKind::from_index(i), *k);
+        }
+    }
+
+    #[test]
+    fn transparency_split_matches_paper() {
+        // Section 2: transparent = {correctable, read, write, erase};
+        // non-transparent = {final read, final write, meta, response,
+        // timeout, uncorrectable}.
+        let transparent: Vec<_> = ErrorKind::transparent().collect();
+        assert_eq!(
+            transparent,
+            vec![
+                ErrorKind::Correctable,
+                ErrorKind::Erase,
+                ErrorKind::Read,
+                ErrorKind::Write
+            ]
+        );
+        assert_eq!(ErrorKind::non_transparent().count(), 6);
+        assert!(ErrorKind::Uncorrectable.is_non_transparent());
+        assert!(ErrorKind::FinalRead.is_non_transparent());
+        assert!(!ErrorKind::Correctable.is_non_transparent());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        assert_eq!(ErrorKind::ALL.len(), ErrorKind::COUNT);
+        assert_eq!(
+            ErrorKind::transparent().count() + ErrorKind::non_transparent().count(),
+            ErrorKind::COUNT
+        );
+    }
+}

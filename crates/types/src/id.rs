@@ -1,0 +1,61 @@
+//! Drive identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier for a drive.
+///
+/// In the original trace this is a hash of the drive's serial number; in the
+/// simulator it is a dense index into the fleet. `DriveId` is a newtype so
+/// the two cannot be confused with ordinary integers (e.g. day indices).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct DriveId(pub u32);
+
+impl DriveId {
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for DriveId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        DriveId(v)
+    }
+}
+
+impl std::fmt::Display for DriveId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "drive-{:06}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_zero_padded() {
+        assert_eq!(DriveId(7).to_string(), "drive-000007");
+        assert_eq!(DriveId(123456).to_string(), "drive-123456");
+    }
+
+    #[test]
+    fn ordering_matches_raw_value() {
+        let mut ids = vec![DriveId(3), DriveId(1), DriveId(2)];
+        ids.sort();
+        assert_eq!(ids, vec![DriveId(1), DriveId(2), DriveId(3)]);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&DriveId(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: DriveId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, DriveId(42));
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-drive histories and fleet-level traces.
+
+use crate::{DailyReport, DriveId, DriveModel, SwapEvent};
+use serde::{Deserialize, Serialize};
+
+/// The complete observed history of one drive: its daily reports (sorted by
+/// age, with gaps where the drive did not report) and its swap events
+/// (sorted by swap day).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveLog {
+    /// Unique drive identifier.
+    pub id: DriveId,
+    /// Which of the three MLC models this drive is.
+    pub model: DriveModel,
+    /// Daily reports, strictly increasing in `age_days`. Missing days are
+    /// simply absent (non-reporting periods).
+    pub reports: Vec<DailyReport>,
+    /// Swap events, strictly increasing in `swap_day`.
+    pub swaps: Vec<SwapEvent>,
+}
+
+impl DriveLog {
+    /// Creates an empty log for a drive.
+    pub fn new(id: DriveId, model: DriveModel) -> Self {
+        DriveLog {
+            id,
+            model,
+            reports: Vec::new(),
+            swaps: Vec::new(),
+        }
+    }
+
+    /// The drive's maximum observed age: the age of its last report or last
+    /// lifecycle event ("Max Age" in Figure 1). Returns 0 for empty logs.
+    pub fn max_age_days(&self) -> u32 {
+        let last_report = self.reports.last().map_or(0, |r| r.age_days);
+        let last_swap = self.swaps.last().map_or(0, |s| {
+            s.reentry_day.unwrap_or(s.swap_day)
+        });
+        last_report.max(last_swap)
+    }
+
+    /// Number of drive days recorded in the error log ("Data Count" in
+    /// Figure 1).
+    #[inline]
+    pub fn data_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True if the drive was observed to fail (swap) at least once.
+    #[inline]
+    pub fn ever_failed(&self) -> bool {
+        !self.swaps.is_empty()
+    }
+
+    /// Validates internal ordering invariants; returns a description of the
+    /// first violation, if any. Used by tests and by trace ingestion.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.reports.windows(2) {
+            if w[0].age_days >= w[1].age_days {
+                return Err(format!(
+                    "{}: reports not strictly increasing at age {} -> {}",
+                    self.id, w[0].age_days, w[1].age_days
+                ));
+            }
+        }
+        for w in self.swaps.windows(2) {
+            if w[0].swap_day >= w[1].swap_day {
+                return Err(format!(
+                    "{}: swaps not strictly increasing at day {} -> {}",
+                    self.id, w[0].swap_day, w[1].swap_day
+                ));
+            }
+        }
+        for s in &self.swaps {
+            if let Some(re) = s.reentry_day {
+                if re < s.swap_day {
+                    return Err(format!(
+                        "{}: re-entry day {} precedes swap day {}",
+                        self.id, re, s.swap_day
+                    ));
+                }
+            }
+        }
+        // Cumulative counters must be non-decreasing over reports.
+        for w in self.reports.windows(2) {
+            if w[1].pe_cycles < w[0].pe_cycles {
+                return Err(format!("{}: P/E cycles decreased", self.id));
+            }
+            if w[1].factory_bad_blocks < w[0].factory_bad_blocks {
+                return Err(format!("{}: factory bad blocks decreased", self.id));
+            }
+            if w[1].grown_bad_blocks < w[0].grown_bad_blocks {
+                return Err(format!("{}: grown bad blocks decreased", self.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fleet-level trace: the logs of every drive in the observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrace {
+    /// Length of the observation window in days (the paper's trace spans
+    /// six years).
+    pub horizon_days: u32,
+    /// One log per drive.
+    pub drives: Vec<DriveLog>,
+}
+
+impl FleetTrace {
+    /// Creates an empty trace with the given horizon.
+    pub fn new(horizon_days: u32) -> Self {
+        FleetTrace {
+            horizon_days,
+            drives: Vec::new(),
+        }
+    }
+
+    /// Total number of drives.
+    #[inline]
+    pub fn n_drives(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// Total number of recorded drive days across the fleet.
+    pub fn total_drive_days(&self) -> usize {
+        self.drives.iter().map(|d| d.data_count()).sum()
+    }
+
+    /// Total number of swap events (= catastrophic failures) in the trace.
+    pub fn total_swaps(&self) -> usize {
+        self.drives.iter().map(|d| d.swaps.len()).sum()
+    }
+
+    /// Iterate over drives of one model.
+    pub fn drives_of(&self, model: DriveModel) -> impl Iterator<Item = &DriveLog> {
+        self.drives.iter().filter(move |d| d.model == model)
+    }
+
+    /// Validates every drive log. Returns the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for d in &self.drives {
+            d.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(age: u32) -> DailyReport {
+        DailyReport::empty(age)
+    }
+
+    #[test]
+    fn max_age_considers_reports_and_swaps() {
+        let mut log = DriveLog::new(DriveId(0), DriveModel::MlcA);
+        assert_eq!(log.max_age_days(), 0);
+        log.reports.push(report(5));
+        log.reports.push(report(9));
+        assert_eq!(log.max_age_days(), 9);
+        log.swaps.push(SwapEvent {
+            swap_day: 12,
+            reentry_day: None,
+        });
+        assert_eq!(log.max_age_days(), 12);
+        log.swaps.push(SwapEvent {
+            swap_day: 20,
+            reentry_day: Some(40),
+        });
+        assert_eq!(log.max_age_days(), 40);
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_reports() {
+        let mut log = DriveLog::new(DriveId(1), DriveModel::MlcB);
+        log.reports.push(report(3));
+        log.reports.push(report(3));
+        assert!(log.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_decreasing_pe() {
+        let mut log = DriveLog::new(DriveId(1), DriveModel::MlcB);
+        let mut a = report(1);
+        a.pe_cycles = 10;
+        let mut b = report(2);
+        b.pe_cycles = 9;
+        log.reports.push(a);
+        log.reports.push(b);
+        assert!(log.validate().unwrap_err().contains("P/E"));
+    }
+
+    #[test]
+    fn validate_rejects_reentry_before_swap() {
+        let mut log = DriveLog::new(DriveId(1), DriveModel::MlcD);
+        log.swaps.push(SwapEvent {
+            swap_day: 10,
+            reentry_day: Some(5),
+        });
+        assert!(log.validate().is_err());
+    }
+
+    #[test]
+    fn fleet_aggregates() {
+        let mut t = FleetTrace::new(100);
+        let mut a = DriveLog::new(DriveId(0), DriveModel::MlcA);
+        a.reports.push(report(0));
+        a.reports.push(report(1));
+        a.swaps.push(SwapEvent {
+            swap_day: 2,
+            reentry_day: None,
+        });
+        let mut b = DriveLog::new(DriveId(1), DriveModel::MlcB);
+        b.reports.push(report(0));
+        t.drives.push(a);
+        t.drives.push(b);
+        assert_eq!(t.n_drives(), 2);
+        assert_eq!(t.total_drive_days(), 3);
+        assert_eq!(t.total_swaps(), 1);
+        assert_eq!(t.drives_of(DriveModel::MlcA).count(), 1);
+        assert_eq!(t.drives_of(DriveModel::MlcD).count(), 0);
+        assert!(t.validate().is_ok());
+    }
+}

@@ -1,0 +1,81 @@
+//! The three MLC drive models studied by the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// MLC SSD model, named as in the paper (and in the prior FAST '16 /
+/// USENIX ATC '17 studies of the same trace): MLC-A, MLC-B, MLC-D.
+///
+/// All three models come from the same vendor, have 480 GB capacity,
+/// ~50 nm lithography, custom firmware, and a 3000 P/E-cycle endurance
+/// limit; they differ in their field failure behaviour (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DriveModel {
+    /// MLC-A: lowest observed failure incidence (6.95% of drives).
+    MlcA,
+    /// MLC-B: highest observed failure incidence (14.3% of drives).
+    MlcB,
+    /// MLC-D: intermediate failure incidence (12.5% of drives).
+    MlcD,
+}
+
+impl DriveModel {
+    /// All models, in canonical (paper) order.
+    pub const ALL: [DriveModel; 3] = [DriveModel::MlcA, DriveModel::MlcB, DriveModel::MlcD];
+
+    /// Short display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriveModel::MlcA => "MLC-A",
+            DriveModel::MlcB => "MLC-B",
+            DriveModel::MlcD => "MLC-D",
+        }
+    }
+
+    /// Dense index (0, 1, 2) for array-indexed per-model aggregation.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            DriveModel::MlcA => 0,
+            DriveModel::MlcB => 1,
+            DriveModel::MlcD => 2,
+        }
+    }
+
+    /// Inverse of [`DriveModel::index`]. Panics on out-of-range input.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+impl std::fmt::Display for DriveModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for m in DriveModel::ALL {
+            assert_eq!(DriveModel::from_index(m.index()), m);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DriveModel::MlcA.name(), "MLC-A");
+        assert_eq!(DriveModel::MlcB.name(), "MLC-B");
+        assert_eq!(DriveModel::MlcD.name(), "MLC-D");
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_ordered() {
+        assert_eq!(DriveModel::ALL.len(), 3);
+        for (i, m) in DriveModel::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+}

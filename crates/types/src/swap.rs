@@ -1,0 +1,49 @@
+//! Swap events: extraction of failed drives into the repair process.
+
+use serde::{Deserialize, Serialize};
+
+/// A swap event (Section 3).
+///
+/// Swaps denote visits to the repair process — not spare-part shuffling.
+/// Every swap follows a drive failure, so "each swap documented in the log
+/// corresponds to a single, catastrophic failure". After repair, the drive
+/// may or may not re-enter the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapEvent {
+    /// Drive age (days) at which the physical swap occurred.
+    pub swap_day: u32,
+    /// Drive age (days) at which the drive re-entered the field after
+    /// repair, if it was ever observed to return within the trace horizon.
+    pub reentry_day: Option<u32>,
+}
+
+impl SwapEvent {
+    /// Length of the repair process in days ("time to repair"),
+    /// or `None` if the drive never returned (the paper's "∞" bar).
+    pub fn repair_days(&self) -> Option<u32> {
+        self.reentry_day.map(|r| r.saturating_sub(self.swap_day))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repair_days_is_difference() {
+        let s = SwapEvent {
+            swap_day: 100,
+            reentry_day: Some(130),
+        };
+        assert_eq!(s.repair_days(), Some(30));
+    }
+
+    #[test]
+    fn unrepaired_swap_has_no_repair_time() {
+        let s = SwapEvent {
+            swap_day: 100,
+            reentry_day: None,
+        };
+        assert_eq!(s.repair_days(), None);
+    }
+}

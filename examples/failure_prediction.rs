@@ -1,0 +1,101 @@
+//! Operating a failure predictor: choose a deployment threshold, inspect
+//! the alerts it would raise, and compare the six model families.
+//!
+//! The paper's use case (Section 5): "if we are able to detect future
+//! failures far enough in advance with sufficient certainty, we have the
+//! option to take preventative action". Production deployments need a low
+//! false-positive rate, so we pick the operating point from the ROC curve.
+//!
+//! ```sh
+//! cargo run --release --example failure_prediction
+//! ```
+
+use ssd_field_study::core::{build_dataset, ExtractOptions};
+use ssd_field_study::ml::{
+    cross_validate, downsample_majority, grouped_kfold, Confusion, CvOptions, ForestConfig,
+    GbdtConfig, KnnConfig, LinearSvmConfig, LogisticRegressionConfig, MlpConfig,
+    NaiveBayesConfig, RocCurve, Trainer, TreeConfig,
+};
+use ssd_field_study::sim::{generate_fleet, SimConfig};
+
+fn main() {
+    let trace = generate_fleet(&SimConfig {
+        drives_per_model: 700,
+        horizon_days: 6 * 365,
+        seed: 9,
+    });
+    let data = build_dataset(
+        &trace,
+        &ExtractOptions {
+            lookahead_days: 3, // three days of warning to migrate data
+            negative_sample_rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let (pos, neg) = data.class_counts();
+    println!("dataset: {pos} failure-imminent days, {neg} healthy days\n");
+
+    // -- Compare the six model families (Table 6's protocol) --------------
+    let cv = CvOptions {
+        k: 5,
+        downsample_ratio: 1.0,
+        seed: 9,
+    };
+    // The paper's six families plus two extended baselines: naive Bayes
+    // (the related-work Bayesian approach) and gradient boosting (the
+    // natural "improve prediction for large N" follow-up).
+    let trainers: Vec<Box<dyn Trainer>> = vec![
+        Box::new(LogisticRegressionConfig::default()),
+        Box::new(KnnConfig::default()),
+        Box::new(LinearSvmConfig::default()),
+        Box::new(MlpConfig::default()),
+        Box::new(TreeConfig::default()),
+        Box::new(ForestConfig::default()),
+        Box::new(NaiveBayesConfig::default()),
+        Box::new(GbdtConfig::default()),
+    ];
+    println!("cross-validated ROC AUC (N = 3 days):");
+    for t in &trainers {
+        let r = cross_validate(t.as_ref(), &data, &cv);
+        println!("  {:<16} {}", t.name(), r.display());
+    }
+
+    // -- Pick an operating point on a held-out fold -----------------------
+    let folds = grouped_kfold(&data, 5, 9);
+    let in_test: std::collections::HashSet<usize> = folds[0].iter().copied().collect();
+    let train_idx: Vec<usize> = (0..data.n_rows()).filter(|i| !in_test.contains(i)).collect();
+    let train_idx = downsample_majority(&data, &train_idx, 1.0, 9);
+    let model = ForestConfig::default().fit(&data.select(&train_idx), 9);
+    let test = data.select(&folds[0]);
+    let scores = model.predict_batch(&test);
+    let curve = RocCurve::compute(&scores, test.labels());
+    println!("\nheld-out AUC: {:.3}", curve.auc());
+
+    println!("\noperating points (score >= threshold raises an alert):");
+    println!(
+        "  {:>9}  {:>6}  {:>8}  {:>9}  {:>11}",
+        "threshold", "recall", "FPR", "precision", "alerts/10k"
+    );
+    for max_fpr in [0.001, 0.01, 0.05] {
+        // Largest threshold whose FPR stays within budget.
+        let point = curve
+            .points
+            .iter()
+            .take_while(|p| p.fpr <= max_fpr)
+            .last()
+            .expect("curve starts at fpr 0");
+        let c = Confusion::at_threshold(&scores, test.labels(), point.threshold);
+        println!(
+            "  {:>9.3}  {:>5.1}%  {:>7.2}%  {:>8.1}%  {:>11.1}",
+            point.threshold,
+            c.tpr() * 100.0,
+            c.fpr() * 100.0,
+            c.precision() * 100.0,
+            (c.tp + c.fp) as f64 / test.n_rows() as f64 * 10_000.0
+        );
+    }
+    println!(
+        "\nAt a strict FPR budget the model still catches a sizable share of\n\
+         failures days in advance - enough to migrate data off sick drives."
+    );
+}

@@ -1,0 +1,105 @@
+//! Generates a calibrated synthetic fleet trace and archives it.
+//!
+//! ```text
+//! ssdgen --out DIR [--drives N] [--days D] [--seed S] [--format bin|json|csv]
+//! ```
+//!
+//! Formats:
+//! * `bin`  — compact varint archive (`trace.ssdfs`), smallest;
+//! * `json` — `trace.json`, for ad-hoc tooling;
+//! * `csv`  — `reports.csv` + `swaps.csv`, for pandas/R.
+
+use ssd_sim::{generate_fleet, SimConfig};
+use ssd_types::{codec, csv};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+struct Args {
+    out: String,
+    drives_per_model: u32,
+    horizon_days: u32,
+    seed: u64,
+    format: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: String::new(),
+        drives_per_model: 2000,
+        horizon_days: 6 * 365,
+        seed: 1,
+        format: "bin".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = next("--out"),
+            "--drives" => args.drives_per_model = next("--drives").parse().expect("drives"),
+            "--days" => args.horizon_days = next("--days").parse().expect("days"),
+            "--seed" => args.seed = next("--seed").parse().expect("seed"),
+            "--format" => args.format = next("--format"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ssdgen --out DIR [--drives N] [--days D] [--seed S] [--format bin|json|csv]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!args.out.is_empty(), "--out is required");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = SimConfig {
+        drives_per_model: args.drives_per_model,
+        horizon_days: args.horizon_days,
+        seed: args.seed,
+    };
+    eprintln!(
+        "generating {} drives over {} days (seed {})...",
+        cfg.total_drives(),
+        cfg.horizon_days,
+        cfg.seed
+    );
+    let trace = generate_fleet(&cfg);
+    trace.validate().expect("generated trace must validate");
+    eprintln!(
+        "generated {} drive-days, {} swaps",
+        trace.total_drive_days(),
+        trace.total_swaps()
+    );
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    match args.format.as_str() {
+        "bin" => {
+            let path = format!("{}/trace.ssdfs", args.out);
+            let bytes = codec::encode_trace(&trace);
+            std::fs::write(&path, &bytes).expect("write archive");
+            eprintln!("wrote {path} ({:.2} MiB)", bytes.len() as f64 / 1048576.0);
+        }
+        "json" => {
+            let path = format!("{}/trace.json", args.out);
+            let body = codec::trace_to_json(&trace).expect("serialize");
+            std::fs::write(&path, &body).expect("write json");
+            eprintln!("wrote {path} ({:.2} MiB)", body.len() as f64 / 1048576.0);
+        }
+        "csv" => {
+            let rp = format!("{}/reports.csv", args.out);
+            let sp = format!("{}/swaps.csv", args.out);
+            let mut rw = BufWriter::new(File::create(&rp).expect("create reports.csv"));
+            csv::write_reports_csv(&trace, &mut rw).expect("write reports");
+            rw.flush().expect("flush");
+            let mut sw = BufWriter::new(File::create(&sp).expect("create swaps.csv"));
+            csv::write_swaps_csv(&trace, &mut sw).expect("write swaps");
+            sw.flush().expect("flush");
+            eprintln!("wrote {rp} and {sp}");
+        }
+        other => {
+            eprintln!("unknown format '{other}' (use bin|json|csv)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Inspects an archived fleet trace: summary statistics, lifecycle tables,
+//! and the observation audit — everything a site needs to sanity-check its
+//! own data once it is in this tool's schema.
+//!
+//! ```text
+//! ssdstat --trace PATH [--horizon DAYS] [--audit]
+//! ```
+//!
+//! `PATH` may be a `.ssdfs` binary archive, a `.json` export, or a
+//! directory containing `reports.csv` + `swaps.csv` (then `--horizon` is
+//! required, since CSVs do not carry it).
+
+use ssd_field_study_core::observations::{audit_trace_observations, render_checks};
+use ssd_field_study_core::{characterize, lifecycle};
+use ssd_types::{codec, csv, FleetTrace};
+use std::io::BufReader;
+
+struct Args {
+    trace: String,
+    horizon: Option<u32>,
+    audit: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace: String::new(),
+        horizon: None,
+        audit: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => args.trace = it.next().expect("--trace needs a path"),
+            "--horizon" => {
+                args.horizon = Some(it.next().expect("--horizon needs days").parse().expect("days"))
+            }
+            "--audit" => args.audit = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ssdstat --trace PATH [--horizon DAYS] [--audit]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!args.trace.is_empty(), "--trace is required");
+    args
+}
+
+fn load(args: &Args) -> FleetTrace {
+    let path = std::path::Path::new(&args.trace);
+    if path.is_dir() {
+        let horizon = args
+            .horizon
+            .expect("--horizon is required for CSV directories");
+        let reports = BufReader::new(
+            std::fs::File::open(path.join("reports.csv")).expect("open reports.csv"),
+        );
+        let swaps =
+            BufReader::new(std::fs::File::open(path.join("swaps.csv")).expect("open swaps.csv"));
+        return csv::read_trace_csv(reports, swaps, horizon).expect("parse csv trace");
+    }
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("json") => {
+            let body = std::fs::read_to_string(path).expect("read json");
+            codec::trace_from_json(&body).expect("parse json trace")
+        }
+        _ => {
+            let bytes = std::fs::read(path).expect("read archive");
+            codec::decode_trace(bytes::Bytes::from(bytes)).expect("decode archive")
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let trace = load(&args);
+    trace.validate().expect("trace invariants");
+
+    println!("trace summary");
+    println!("  drives:       {}", trace.n_drives());
+    println!("  drive-days:   {}", trace.total_drive_days());
+    println!("  swaps:        {}", trace.total_swaps());
+    println!("  horizon:      {} days", trace.horizon_days);
+    println!();
+    println!("{}", lifecycle::failure_incidence(&trace).table());
+    println!("{}", lifecycle::failure_count_distribution(&trace).table());
+    println!("{}", characterize::error_incidence(&trace).table());
+
+    let nop = lifecycle::non_operational_ecdf(&trace);
+    if nop.n_finite() > 0 {
+        println!("non-operational period: P(<=1d) {:.2}, P(<=7d) {:.2}", nop.eval(1.0), nop.eval(7.0));
+    }
+    let rep = lifecycle::time_to_repair_ecdf(&trace);
+    println!(
+        "repairs never observed to complete: {:.1}%",
+        rep.censored_fraction() * 100.0
+    );
+
+    if args.audit {
+        println!();
+        let checks = audit_trace_observations(&trace);
+        println!("{}", render_checks(&checks));
+        let holds = checks.iter().filter(|c| c.holds).count();
+        println!("{holds}/{} paper observations hold on this trace", checks.len());
+    }
+}

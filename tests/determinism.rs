@@ -1,0 +1,92 @@
+//! Determinism contracts: the whole pipeline is a pure function of
+//! (configuration, seed) — independent of thread count and repeatable
+//! across runs.
+
+use ssd_field_study::core::{build_dataset, ExtractOptions};
+use ssd_field_study::ml::{cross_validate, CvOptions, ForestConfig, Trainer};
+use ssd_field_study::sim::{generate_fleet, generate_fleet_sequential, SimConfig};
+use ssd_field_study::types::codec::encode_trace;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        drives_per_model: 100,
+        horizon_days: 1000,
+        seed: 31415,
+    }
+}
+
+#[test]
+fn fleet_generation_is_thread_count_independent() {
+    let parallel = generate_fleet(&cfg());
+    let sequential = generate_fleet_sequential(&cfg());
+    assert_eq!(parallel, sequential);
+    // Byte-identical archives, not just structural equality.
+    assert_eq!(encode_trace(&parallel), encode_trace(&sequential));
+}
+
+#[test]
+fn fleet_generation_is_repeatable_within_and_across_thread_pools() {
+    let a = generate_fleet(&cfg());
+    // A second run on a differently-sized rayon pool must agree.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .unwrap();
+    let b = pool.install(|| generate_fleet(&cfg()));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn datasets_and_models_are_reproducible() {
+    let trace = generate_fleet(&cfg());
+    let opts = ExtractOptions {
+        lookahead_days: 2,
+        negative_sample_rate: 0.2,
+        ..Default::default()
+    };
+    let d1 = build_dataset(&trace, &opts);
+    let d2 = build_dataset(&trace, &opts);
+    assert_eq!(d1, d2);
+
+    let forest = ForestConfig {
+        n_trees: 12,
+        ..Default::default()
+    };
+    let m1 = forest.fit(&d1, 9);
+    let m2 = forest.fit(&d2, 9);
+    assert_eq!(m1.predict_batch(&d1), m2.predict_batch(&d1));
+}
+
+#[test]
+fn cross_validation_is_reproducible() {
+    let trace = generate_fleet(&cfg());
+    let data = build_dataset(
+        &trace,
+        &ExtractOptions {
+            lookahead_days: 3,
+            negative_sample_rate: 0.3,
+            ..Default::default()
+        },
+    );
+    let forest = ForestConfig {
+        n_trees: 8,
+        ..Default::default()
+    };
+    let opts = CvOptions {
+        k: 3,
+        downsample_ratio: 1.0,
+        seed: 77,
+    };
+    let a = cross_validate(&forest, &data, &opts);
+    let b = cross_validate(&forest, &data, &opts);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let mut c1 = cfg();
+    let mut c2 = cfg();
+    c1.seed = 1;
+    c2.seed = 2;
+    assert_ne!(generate_fleet(&c1), generate_fleet(&c2));
+}

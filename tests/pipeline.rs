@@ -1,0 +1,165 @@
+//! End-to-end integration: fleet simulation → feature extraction →
+//! training → evaluation, across crate boundaries.
+
+use ssd_field_study::core::{build_dataset, AgeFilter, ExtractOptions, LabelKind};
+use ssd_field_study::ml::{
+    cross_validate, CvOptions, ForestConfig, LogisticRegressionConfig,
+};
+use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::types::ErrorKind;
+
+fn trace() -> ssd_field_study::types::FleetTrace {
+    generate_fleet(&SimConfig {
+        drives_per_model: 400,
+        horizon_days: 2190,
+        seed: 555,
+    })
+}
+
+#[test]
+fn full_pipeline_reaches_paper_band_auc() {
+    let trace = trace();
+    let data = build_dataset(
+        &trace,
+        &ExtractOptions {
+            lookahead_days: 1,
+            negative_sample_rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let r = cross_validate(
+        &ForestConfig {
+            n_trees: 60,
+            ..Default::default()
+        },
+        &data,
+        &CvOptions::default(),
+    );
+    // Paper Table 6: RF at N=1 is 0.905 ± 0.008 on 30k drives. At 1.2k
+    // drives we accept a generous band around it.
+    assert!(
+        (0.78..=0.99).contains(&r.mean()),
+        "RF N=1 AUC {} outside the acceptance band",
+        r.mean()
+    );
+}
+
+#[test]
+fn forest_beats_linear_model_end_to_end() {
+    let trace = trace();
+    let data = build_dataset(
+        &trace,
+        &ExtractOptions {
+            lookahead_days: 1,
+            negative_sample_rate: 0.05,
+            ..Default::default()
+        },
+    );
+    let opts = CvOptions::default();
+    let rf = cross_validate(
+        &ForestConfig {
+            n_trees: 60,
+            ..Default::default()
+        },
+        &data,
+        &opts,
+    );
+    let lr = cross_validate(&LogisticRegressionConfig::default(), &data, &opts);
+    // Table 6 ordering: Random Forest > Logistic Regression (0.905 vs
+    // 0.796). Allow for CV noise with a small slack.
+    assert!(
+        rf.mean() > lr.mean() - 0.01,
+        "RF {} should not trail LR {}",
+        rf.mean(),
+        lr.mean()
+    );
+}
+
+#[test]
+fn longer_lookahead_is_harder_end_to_end() {
+    let trace = trace();
+    let mut aucs = Vec::new();
+    for n in [1u32, 7, 21] {
+        let data = build_dataset(
+            &trace,
+            &ExtractOptions {
+                lookahead_days: n,
+                negative_sample_rate: 0.05,
+                ..Default::default()
+            },
+        );
+        let r = cross_validate(
+            &ForestConfig {
+                n_trees: 40,
+                ..Default::default()
+            },
+            &data,
+            &CvOptions::default(),
+        );
+        aucs.push(r.mean());
+    }
+    // Figure 12's downward trend: N=1 must beat N=21 clearly.
+    assert!(
+        aucs[0] > aucs[2] + 0.01,
+        "AUC should decay with lookahead: {aucs:?}"
+    );
+}
+
+#[test]
+fn young_partition_is_more_predictable_end_to_end() {
+    let trace = trace();
+    let mk = |filter: AgeFilter| {
+        let data = build_dataset(
+            &trace,
+            &ExtractOptions {
+                lookahead_days: 1,
+                negative_sample_rate: 0.05,
+                age_filter: filter,
+                ..Default::default()
+            },
+        );
+        cross_validate(
+            &ForestConfig {
+                n_trees: 40,
+                ..Default::default()
+            },
+            &data,
+            &CvOptions::default(),
+        )
+        .mean()
+    };
+    let young = mk(AgeFilter::Young);
+    let old = mk(AgeFilter::Old);
+    // Section 5.3: 0.970 young vs 0.890 old. Assert ordering with slack.
+    assert!(
+        young > old - 0.05,
+        "young {young} should not trail old {old} meaningfully"
+    );
+}
+
+#[test]
+fn error_prediction_pipeline_works() {
+    let trace = trace();
+    let data = build_dataset(
+        &trace,
+        &ExtractOptions {
+            lookahead_days: 2,
+            label: LabelKind::Error(ErrorKind::Uncorrectable),
+            negative_sample_rate: 0.02,
+            ..Default::default()
+        },
+    );
+    let (pos, neg) = data.class_counts();
+    assert!(pos > 50 && neg > 50, "classes: {pos}/{neg}");
+    let r = cross_validate(
+        &ForestConfig {
+            n_trees: 40,
+            ..Default::default()
+        },
+        &data,
+        &CvOptions::default(),
+    );
+    // Paper Table 8: UE prediction at 0.933; drive history makes this an
+    // easier task than swap prediction.
+    assert!(r.mean() > 0.75, "UE-prediction AUC {}", r.mean());
+}

@@ -1,0 +1,66 @@
+//! Archive round trips at fleet scale, and cross-codec agreement.
+
+use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::types::codec::{
+    decode_trace, encode_trace, trace_from_json, trace_to_json,
+};
+
+fn trace() -> ssd_field_study::types::FleetTrace {
+    generate_fleet(&SimConfig {
+        drives_per_model: 80,
+        horizon_days: 1200,
+        seed: 99,
+    })
+}
+
+#[test]
+fn binary_roundtrip_fleet_scale() {
+    let t = trace();
+    let bytes = encode_trace(&t);
+    let back = decode_trace(bytes).expect("decode");
+    assert_eq!(back, t);
+    back.validate().expect("invariants survive the codec");
+}
+
+#[test]
+fn json_roundtrip_fleet_scale() {
+    let t = trace();
+    let json = trace_to_json(&t).expect("serialize");
+    let back = trace_from_json(&json).expect("deserialize");
+    assert_eq!(back, t);
+}
+
+#[test]
+fn codecs_agree_with_each_other() {
+    let t = trace();
+    let via_bin = decode_trace(encode_trace(&t)).unwrap();
+    let via_json = trace_from_json(&trace_to_json(&t).unwrap()).unwrap();
+    assert_eq!(via_bin, via_json);
+}
+
+#[test]
+fn binary_is_compact() {
+    let t = trace();
+    let bin_len = encode_trace(&t).len();
+    let json_len = trace_to_json(&t).unwrap().len();
+    // The varint codec should beat JSON by a wide margin on real traces.
+    assert!(
+        bin_len * 4 < json_len,
+        "binary {bin_len} vs json {json_len}"
+    );
+    // And stay under ~64 bytes per drive-day on average.
+    let per_day = bin_len as f64 / t.total_drive_days() as f64;
+    assert!(per_day < 64.0, "{per_day} bytes per drive-day");
+}
+
+#[test]
+fn corrupted_archives_fail_loudly() {
+    let t = trace();
+    let bytes = encode_trace(&t);
+    // Truncation.
+    assert!(decode_trace(bytes.slice(0..bytes.len() / 2)).is_err());
+    // Header corruption.
+    let mut v = bytes.to_vec();
+    v[0] ^= 0xFF;
+    assert!(decode_trace(bytes::Bytes::from(v)).is_err());
+}
