@@ -4,7 +4,7 @@
 //! Criterion measurement) and prints its cross-validated AUC once, so the
 //! accuracy/cost trade-off is visible in one run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::{bench_predict_config, small_trace};
 use ssd_field_study_core::{build_dataset, ExtractOptions};
 use ssd_ml::{cross_validate, CvOptions, Dataset, ForestConfig};

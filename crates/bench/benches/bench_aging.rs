@@ -1,6 +1,6 @@
 //! Figures 6–9 regeneration benchmarks (age and wear analyses).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::bench_trace;
 use ssd_field_study_core::aging::{failure_age, wear_at_failure, write_intensity};
 

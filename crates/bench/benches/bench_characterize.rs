@@ -1,6 +1,6 @@
 //! Figure 1 and Table 1 regeneration benchmarks (trace characterization).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::bench_trace;
 use ssd_field_study_core::characterize::{error_incidence, trace_coverage};
 

@@ -1,7 +1,7 @@
 //! Table 2 regeneration benchmark: the 12×12 Spearman matrix over
 //! per-drive cumulative counts, plus the rank-correlation kernel itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::bench_trace;
 use ssd_field_study_core::characterize::correlation_matrix;
 use ssd_stats::{spearman, SplitMix64};

@@ -2,7 +2,7 @@
 //! is 30 cross-validations; the bench measures a representative target
 //! (uncorrectable errors, the paper's strongest row) per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::{bench_predict_config, small_trace};
 use ssd_field_study_core::{build_dataset, ExtractOptions, LabelKind};
 use ssd_ml::cross_validate;

@@ -1,6 +1,6 @@
 //! Figures 10–11 regeneration benchmarks (error-incidence analyses).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::bench_trace;
 use ssd_field_study_core::errors_analysis::{cumulative_error_cdfs, pre_failure_errors};
 

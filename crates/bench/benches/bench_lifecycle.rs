@@ -1,7 +1,7 @@
 //! Tables 3–5 and Figures 3–5 regeneration benchmarks (swap/repair
 //! lifecycle analyses).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::bench_trace;
 use ssd_field_study_core::lifecycle::{
     failure_count_distribution, failure_incidence, non_operational_ecdf, repair_reentry,

@@ -1,7 +1,7 @@
 //! ML-substrate micro-benchmarks: training and scoring kernels for each
 //! of the six classifier families, plus the ROC/AUC metric.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_ml::{
     roc_auc, Dataset, ForestConfig, KnnConfig, LinearSvmConfig, LogisticRegressionConfig,
     MlpConfig, Trainer, TreeConfig,

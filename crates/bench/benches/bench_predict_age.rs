@@ -1,7 +1,7 @@
 //! Figures 14–16 regeneration benchmarks: age-dependent TPR, young/old
 //! ROC split, and the age-partitioned feature importances.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::{bench_predict_config, small_trace};
 use ssd_field_study_core::predict::{age_analysis, importance};
 

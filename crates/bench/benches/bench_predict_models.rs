@@ -1,7 +1,7 @@
 //! Table 6 / Figure 13 / Table 7 regeneration benchmarks: the six-model
 //! comparison, per-model ROC, and cross-model transfer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::{bench_predict_config, small_trace};
 use ssd_field_study_core::predict::{models, per_model};
 

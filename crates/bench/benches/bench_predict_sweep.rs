@@ -1,7 +1,7 @@
 //! Figure 12 regeneration benchmark: the random-forest AUC sweep over
 //! lookahead windows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_bench::{bench_predict_config, small_trace};
 use ssd_field_study_core::predict::sweep::lookahead_sweep;
 

@@ -1,7 +1,7 @@
 //! Substrate benchmark: fleet generation throughput (parallel vs
 //! sequential) and trace codec performance.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ssd_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use ssd_sim::{generate_fleet, generate_fleet_sequential, SimConfig};
 use ssd_types::codec::{decode_trace, encode_trace};
 
@@ -34,7 +34,7 @@ fn bench_codec(c: &mut Criterion) {
     g.bench_function("decode", |b| {
         b.iter_batched(
             || encoded.clone(),
-            |bytes| decode_trace(bytes).unwrap(),
+            |bytes| decode_trace(&bytes).unwrap(),
             BatchSize::SmallInput,
         )
     });

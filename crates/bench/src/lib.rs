@@ -2,7 +2,13 @@
 //!
 //! Each bench target regenerates one paper artifact (see DESIGN.md's
 //! experiment index). Fleets are generated once per process and shared, so
-//! Criterion timings measure the analysis, not the simulation.
+//! the timings measure the analysis, not the simulation. The [`harness`]
+//! module provides the in-tree Criterion-compatible timing shim the bench
+//! targets link against.
+
+pub mod harness;
+
+pub use harness::{BatchSize, BenchmarkGroup, Bencher, Criterion};
 
 use ssd_sim::{generate_fleet, SimConfig};
 use ssd_types::FleetTrace;

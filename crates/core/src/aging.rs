@@ -2,13 +2,12 @@
 
 use crate::failure::failure_records;
 use crate::report::Series;
-use serde::Serialize;
 use ssd_stats::{ks_p_value, ks_statistic, quartiles, BinnedRate, Ecdf};
 use ssd_types::{FleetTrace, DAYS_PER_MONTH};
 
 /// Figure 6: failure-age CDF plus the exposure-normalized monthly failure
 /// rate (the bias-corrected dashed curve).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FailureAge {
     /// CDF of drive age (months) at failure.
     pub age_cdf: Series,
@@ -77,7 +76,7 @@ pub fn failure_age(trace: &FleetTrace) -> FailureAge {
 }
 
 /// Figure 7: quartiles of daily write intensity per month of drive age.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WriteIntensity {
     /// Per month: (month, Q1, median, Q3) of daily write operations.
     pub quartiles_by_month: Vec<(u32, f64, f64, f64)>,
@@ -112,7 +111,7 @@ pub fn write_intensity(trace: &FleetTrace) -> WriteIntensity {
 }
 
 /// Figures 8 and 9: P/E cycles at failure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WearAtFailure {
     /// Figure 8 CDF: P/E cycle count at failure, all failures.
     pub pe_cdf: Series,
@@ -321,3 +320,9 @@ mod tests {
         }
     }
 }
+
+ssd_types::impl_json_struct!(FailureAge { age_cdf, monthly_rate, frac_under_30d, frac_under_90d });
+
+ssd_types::impl_json_struct!(WriteIntensity { quartiles_by_month });
+
+ssd_types::impl_json_struct!(WearAtFailure { pe_cdf, rate_per_bin, pe_cdf_young, pe_cdf_old, frac_under_1500, young_old_ks, young_old_ks_p });

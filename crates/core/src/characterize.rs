@@ -1,14 +1,13 @@
 //! Trace characterization: Figure 1, Table 1, and Table 2 (Section 2).
 
 use crate::report::{Series, TextTable};
-use rayon::prelude::*;
-use serde::Serialize;
+use ssd_parallel::prelude::*;
 use ssd_stats::{spearman_matrix, Ecdf};
 use ssd_types::{DriveModel, ErrorKind, FleetTrace};
 
 /// Figure 1: CDFs of maximum observed drive age and of the number of
 /// recorded drive days ("Data Count"), per drive.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceCoverage {
     /// "Max Age" CDF (x in years).
     pub max_age: Series,
@@ -43,7 +42,7 @@ pub fn trace_coverage(trace: &FleetTrace) -> TraceCoverage {
 
 /// Table 1: proportion of drive days that exhibit each error type,
 /// per drive model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorIncidence {
     /// `rates[kind][model]` = fraction of recorded drive days with at
     /// least one error of that kind.
@@ -147,7 +146,7 @@ pub const CORRELATION_VARS: [&str; 12] = [
 
 /// Table 2: Spearman correlations among cumulative error counts, P/E
 /// cycles, bad-block count, and drive age.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CorrelationMatrix {
     /// Symmetric 12×12 matrix in [`CORRELATION_VARS`] order.
     pub matrix: Vec<Vec<f64>>,
@@ -310,3 +309,9 @@ mod tests {
         let _ = c.table().render();
     }
 }
+
+ssd_types::impl_json_struct!(TraceCoverage { max_age, data_count, frac_observed_4y_plus });
+
+ssd_types::impl_json_struct!(ErrorIncidence { rates });
+
+ssd_types::impl_json_struct!(CorrelationMatrix { matrix, n_samples });

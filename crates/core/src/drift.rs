@@ -10,12 +10,11 @@
 
 use crate::failure::failure_records;
 use crate::report::TextTable;
-use serde::Serialize;
 use ssd_stats::{ks_p_value, ks_statistic};
 use ssd_types::{ErrorKind, FleetTrace};
 
 /// One compared dimension.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DriftCheck {
     /// What was compared.
     pub metric: String,
@@ -35,7 +34,7 @@ impl DriftCheck {
 }
 
 /// Result of a fleet comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DriftReport {
     /// Per-metric comparisons.
     pub checks: Vec<DriftCheck>,
@@ -238,3 +237,7 @@ mod tests {
         assert!(r.checks.len() < 4);
     }
 }
+
+ssd_types::impl_json_struct!(DriftCheck { metric, ks, p_value, n });
+
+ssd_types::impl_json_struct!(DriftReport { checks });

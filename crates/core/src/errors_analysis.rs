@@ -2,13 +2,12 @@
 
 use crate::failure::failure_records;
 use crate::report::Series;
-use serde::Serialize;
 use ssd_stats::{quantile, Ecdf};
 use ssd_types::{ErrorKind, FleetTrace};
 
 /// Figure 10: CDFs of cumulative bad-block and uncorrectable-error counts
 /// for young failures, old failures, and never-failed drives.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CumulativeErrorCdfs {
     /// Bad blocks: (young, old, not-failed) CDFs.
     pub bad_blocks: [Series; 3],
@@ -98,7 +97,7 @@ pub fn cumulative_error_cdfs(trace: &FleetTrace) -> CumulativeErrorCdfs {
 }
 
 /// Figure 11: uncorrectable-error behaviour in the days before a failure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PreFailureErrors {
     /// Top graph: P(a UE occurred within the last n days before failure),
     /// for young and old failures, n = 0..=7.
@@ -278,3 +277,7 @@ mod tests {
         }
     }
 }
+
+ssd_types::impl_json_struct!(CumulativeErrorCdfs { bad_blocks, uncorrectable, zero_ue_fracs, symptomless_failure_frac });
+
+ssd_types::impl_json_struct!(PreFailureErrors { p_ue_within, baseline, count_percentiles });

@@ -2,12 +2,11 @@
 
 use crate::failure::{failure_records, operational_periods};
 use crate::report::{pct, Series, TextTable};
-use serde::Serialize;
 use ssd_stats::{Duration, Ecdf, KaplanMeier};
 use ssd_types::{DriveModel, FleetTrace};
 
 /// Table 3: failure incidence per model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FailureIncidence {
     /// Per model: (number of failures, number of drives, fraction of
     /// drives failing at least once).
@@ -80,7 +79,7 @@ impl FailureIncidence {
 }
 
 /// Table 4: distribution of lifetime failure counts.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FailureCountDistribution {
     /// `count_of[k]` = number of drives with exactly k failures
     /// (index 0 = never failed), up to the maximum observed.
@@ -240,7 +239,7 @@ pub fn time_to_repair_km(trace: &FleetTrace) -> KaplanMeier {
 /// Table 5: percentage of swapped drives that re-enter within n days, per
 /// model (with, in parentheses in the paper, the same as a fraction of all
 /// drives).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RepairReentry {
     /// Horizon days used as columns (the paper: 10, 30, 100, 365, 730,
     /// 1095, ∞ — ∞ encoded as `None`).
@@ -479,3 +478,9 @@ mod tests {
         }
     }
 }
+
+ssd_types::impl_json_struct!(FailureIncidence { per_model, total_failures, total_failed_fraction });
+
+ssd_types::impl_json_struct!(FailureCountDistribution { count_of });
+
+ssd_types::impl_json_struct!(RepairReentry { horizons, rows });

@@ -11,11 +11,10 @@
 
 use crate::predict::{age_analysis, importance, PredictConfig};
 use crate::{aging, characterize, errors_analysis, lifecycle};
-use serde::Serialize;
 use ssd_types::FleetTrace;
 
 /// Result of checking one observation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ObservationCheck {
     /// Observation number in the paper (1–13).
     pub id: u8,
@@ -286,3 +285,5 @@ mod tests {
         }
     }
 }
+
+ssd_types::impl_json_struct!(ObservationCheck { id, claim, measured, holds });

@@ -10,13 +10,12 @@
 
 use crate::failure::failure_records;
 use crate::features::{build_dataset, ExtractOptions};
-use serde::Serialize;
 use ssd_ml::Classifier;
 use ssd_types::FleetTrace;
 use std::collections::{HashMap, HashSet};
 
 /// Cost model (arbitrary consistent units).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyCosts {
     /// Unplanned failure: rebuild from redundancy, downtime risk.
     pub emergency: f64,
@@ -37,7 +36,7 @@ impl Default for PolicyCosts {
 }
 
 /// Outcome of running the policy at one threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyOutcome {
     /// Alert threshold evaluated.
     pub threshold: f64,
@@ -214,3 +213,7 @@ mod tests {
         );
     }
 }
+
+ssd_types::impl_json_struct!(PolicyCosts { emergency, planned, false_alert });
+
+ssd_types::impl_json_struct!(PolicyOutcome { threshold, caught, missed, false_alerts, policy_cost, reactive_cost });

@@ -9,7 +9,6 @@
 use super::PredictConfig;
 use crate::features::{build_dataset, AgeFilter, ExtractOptions};
 use crate::report::Series;
-use serde::Serialize;
 use ssd_ml::{
     cross_validate, downsample_majority, grouped_kfold, RocCurve, Trainer,
 };
@@ -48,7 +47,7 @@ fn held_out_scores(data: &ssd_ml::Dataset, config: &PredictConfig) -> HeldOut {
 
 /// Figure 14: true positive rate per age month at several probability
 /// thresholds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TprByAge {
     /// One series per threshold: (age month, TPR among positives of that
     /// age).
@@ -98,7 +97,7 @@ pub fn tpr_by_age(
 }
 
 /// Figure 15 plus the separately-trained AUCs of Section 5.3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct YoungOldRoc {
     /// ROC over young-drive rows of a jointly trained model.
     pub young_curve: Series,
@@ -213,3 +212,7 @@ mod tests {
         }
     }
 }
+
+ssd_types::impl_json_struct!(TprByAge { series });
+
+ssd_types::impl_json_struct!(YoungOldRoc { young_curve, old_curve, young_auc, old_auc, young_trained_auc, old_trained_auc });

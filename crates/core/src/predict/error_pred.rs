@@ -5,7 +5,6 @@
 use super::PredictConfig;
 use crate::features::{build_dataset, AgeFilter, ExtractOptions, LabelKind};
 use crate::report::TextTable;
-use serde::Serialize;
 use ssd_ml::cross_validate;
 use ssd_types::{ErrorKind, FleetTrace};
 
@@ -35,7 +34,7 @@ pub fn table8_targets() -> Vec<(String, LabelKind)> {
 }
 
 /// Result of the Table 8 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorPrediction {
     /// Per target: (name, combined AUC, young AUC, old AUC). AUCs are
     /// `None` where the target class was too rare to evaluate (the paper
@@ -141,3 +140,5 @@ mod tests {
         let _ = r.table().render();
     }
 }
+
+ssd_types::impl_json_struct!(ErrorPrediction { rows });

@@ -4,12 +4,11 @@
 use super::PredictConfig;
 use crate::features::{build_dataset, AgeFilter, ExtractOptions};
 use crate::report::TextTable;
-use serde::Serialize;
 use ssd_ml::{downsample_majority, RandomForest};
 use ssd_types::FleetTrace;
 
 /// Ranked feature importances for one age partition.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ImportanceRanking {
     /// Partition label ("Young Drives" / "Old Drives").
     pub partition: String,
@@ -101,3 +100,5 @@ mod tests {
         let _ = old.table(10).render();
     }
 }
+
+ssd_types::impl_json_struct!(ImportanceRanking { partition, ranked });

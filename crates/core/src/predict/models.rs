@@ -3,12 +3,11 @@
 
 use super::PredictConfig;
 use crate::report::TextTable;
-use serde::Serialize;
 use ssd_ml::cross_validate;
 use ssd_types::FleetTrace;
 
 /// Result of the Table 6 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelComparison {
     /// Lookahead windows evaluated (columns).
     pub lookaheads: Vec<u32>,
@@ -93,3 +92,5 @@ mod tests {
         let _ = cmp.table().render();
     }
 }
+
+ssd_types::impl_json_struct!(ModelComparison { lookaheads, rows });

@@ -3,7 +3,6 @@
 use super::PredictConfig;
 use crate::features::{build_dataset, ExtractOptions};
 use crate::report::{Series, TextTable};
-use serde::Serialize;
 use ssd_ml::{
     cross_validate, downsample_majority, grouped_kfold, roc_auc, train_test_auc,
     RocCurve, Trainer,
@@ -29,7 +28,7 @@ fn model_dataset(
 }
 
 /// A ROC curve labeled with its AUC, for one drive model (Figure 13).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelRoc {
     /// Drive model name.
     pub model: String,
@@ -88,7 +87,7 @@ pub fn per_model_roc(trace: &FleetTrace, config: &PredictConfig) -> Vec<ModelRoc
 /// Table 7: AUC of a random forest trained on one model's drives and
 /// tested on another's (N = 1). The diagonal is cross-validated; the last
 /// column trains on all three models.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TransferMatrix {
     /// `auc[test][train]`, train columns being [A, B, D, All].
     pub auc: Vec<Vec<f64>>,
@@ -220,3 +219,7 @@ mod tests {
         let _ = t.table().render();
     }
 }
+
+ssd_types::impl_json_struct!(ModelRoc { model, auc, curve });
+
+ssd_types::impl_json_struct!(TransferMatrix { auc });

@@ -2,12 +2,11 @@
 
 use super::PredictConfig;
 use crate::report::Series;
-use serde::Serialize;
 use ssd_ml::cross_validate;
 use ssd_types::FleetTrace;
 
 /// Result of the Figure 12 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LookaheadSweep {
     /// (N, mean AUC) points.
     pub auc: Series,
@@ -55,3 +54,5 @@ mod tests {
         assert_eq!(sweep.std.len(), 2);
     }
 }
+
+ssd_types::impl_json_struct!(LookaheadSweep { auc, std });

@@ -9,12 +9,11 @@
 
 use crate::failure::failure_records;
 use crate::report::TextTable;
-use serde::Serialize;
 use ssd_types::{ErrorKind, FleetTrace};
 
 /// Comparison of drive behaviour before first failure vs after repair
 /// re-entry.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReentryAnalysis {
     /// Drives observed to re-enter after a repair.
     pub n_reentered: usize,
@@ -162,3 +161,5 @@ mod tests {
         assert!((0.3..3.0).contains(&ratio), "write ratio {ratio}");
     }
 }
+
+ssd_types::impl_json_struct!(ReentryAnalysis { n_reentered, n_refailed, refail_prob, first_failure_prob, ue_day_rate_pre, ue_day_rate_post, writes_pre, writes_post });

@@ -5,10 +5,9 @@
 //! regenerated artifacts can be compared line-by-line with the paper's
 //! tables and figure series.
 
-use serde::Serialize;
 
 /// A rectangular text table with a header row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TextTable {
     /// Table title, e.g. "Table 6: ROC AUC per model and lookahead".
     pub title: String,
@@ -79,7 +78,7 @@ impl std::fmt::Display for TextTable {
 }
 
 /// A named (x, y) series — the textual stand-in for a figure curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Curve label, e.g. "Young (AUC=0.961)".
     pub name: String,
@@ -184,3 +183,7 @@ mod tests {
         assert_eq!(pct(0.0695), "7.0");
     }
 }
+
+ssd_types::impl_json_struct!(TextTable { title, header, rows });
+
+ssd_types::impl_json_struct!(Series { name, points });

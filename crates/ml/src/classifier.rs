@@ -1,7 +1,7 @@
 //! The classifier abstraction shared by all six model families.
 
 use crate::dataset::Dataset;
-use rayon::prelude::*;
+use ssd_parallel::prelude::*;
 
 /// A trained binary classifier producing a continuous score in `[0, 1]`
 /// interpretable as P(positive | features) — the paper's model output

@@ -10,7 +10,7 @@
 use crate::classifier::{Classifier, Trainer};
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeConfig};
-use rayon::prelude::*;
+use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
 
 /// Hyperparameters for the random forest.

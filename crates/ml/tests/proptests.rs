@@ -1,104 +1,123 @@
 //! Property-based tests for the ML substrate: metric identities, split
 //! invariants, and classifier output contracts.
 
-use proptest::prelude::*;
 use ssd_ml::{
     downsample_majority, grouped_kfold, roc_auc, Classifier, Confusion, Dataset, DecisionTree,
     RocCurve, TreeConfig,
 };
+use ssd_testkit::{assume, for_each_case, for_each_case_filtered, CaseResult, Gen};
 
 /// Scores plus labels guaranteed to contain both classes.
-fn scored_labels() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
-    prop::collection::vec((0.0f64..1.0, any::<bool>()), 4..200).prop_map(|mut v| {
-        // Force at least one of each class.
-        v[0].1 = true;
-        v[1].1 = false;
-        v.into_iter().unzip()
-    })
+fn scored_labels(g: &mut Gen) -> (Vec<f64>, Vec<bool>) {
+    let mut v: Vec<(f64, bool)> = g.vec(4, 199, |g| (g.f64_unit(), g.bool()));
+    // Force at least one of each class.
+    v[0].1 = true;
+    v[1].1 = false;
+    v.into_iter().unzip()
 }
 
-proptest! {
-    #[test]
-    fn auc_is_in_unit_interval((scores, labels) in scored_labels()) {
+#[test]
+fn auc_is_in_unit_interval() {
+    for_each_case("auc_is_in_unit_interval", 256, |g| {
+        let (scores, labels) = scored_labels(g);
         let a = roc_auc(&scores, &labels);
-        prop_assert!((0.0..=1.0).contains(&a));
-    }
+        assert!((0.0..=1.0).contains(&a));
+    });
+}
 
-    #[test]
-    fn auc_label_flip_antisymmetry((scores, labels) in scored_labels()) {
+#[test]
+fn auc_label_flip_antisymmetry() {
+    for_each_case("auc_label_flip_antisymmetry", 256, |g| {
+        let (scores, labels) = scored_labels(g);
         let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
         let a = roc_auc(&scores, &labels);
         let b = roc_auc(&scores, &flipped);
-        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b}");
-    }
+        assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b}");
+    });
+}
 
-    #[test]
-    fn auc_invariant_under_monotone_score_transform((scores, labels) in scored_labels()) {
+#[test]
+fn auc_invariant_under_monotone_score_transform() {
+    for_each_case("auc_invariant_under_monotone_score_transform", 256, |g| {
+        let (scores, labels) = scored_labels(g);
         let transformed: Vec<f64> = scores.iter().map(|s| (s * 3.0).exp()).collect();
         let a = roc_auc(&scores, &labels);
         let b = roc_auc(&transformed, &labels);
-        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
-    }
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    });
+}
 
-    #[test]
-    fn rank_auc_equals_curve_auc((scores, labels) in scored_labels()) {
+#[test]
+fn rank_auc_equals_curve_auc() {
+    for_each_case("rank_auc_equals_curve_auc", 256, |g| {
+        let (scores, labels) = scored_labels(g);
         let a = roc_auc(&scores, &labels);
         let b = RocCurve::compute(&scores, &labels).auc();
-        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
-    }
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    });
+}
 
-    #[test]
-    fn roc_curve_is_monotone_to_corner((scores, labels) in scored_labels()) {
+#[test]
+fn roc_curve_is_monotone_to_corner() {
+    for_each_case("roc_curve_is_monotone_to_corner", 256, |g| {
+        let (scores, labels) = scored_labels(g);
         let c = RocCurve::compute(&scores, &labels);
         for w in c.points.windows(2) {
-            prop_assert!(w[1].fpr >= w[0].fpr);
-            prop_assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
         }
         let last = c.points.last().unwrap();
-        prop_assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
-    }
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    });
+}
 
-    #[test]
-    fn confusion_counts_partition_samples((scores, labels) in scored_labels(), thr in 0.0f64..1.0) {
+#[test]
+fn confusion_counts_partition_samples() {
+    for_each_case("confusion_counts_partition_samples", 256, |g| {
+        let (scores, labels) = scored_labels(g);
+        let thr = g.f64_unit();
         let c = Confusion::at_threshold(&scores, &labels, thr);
-        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, labels.len());
-        prop_assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12 || c.tp + c.fn_ == 0);
-    }
+        assert_eq!(c.tp + c.fp + c.tn + c.fn_, labels.len());
+        assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12 || c.tp + c.fn_ == 0);
+    });
+}
 
-    #[test]
-    fn kfold_partitions_rows_and_respects_groups(
-        n_groups in 6u32..30,
-        rows_per_group in 1usize..6,
-        k in 2usize..6,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(n_groups as usize >= k);
+#[test]
+fn kfold_partitions_rows_and_respects_groups() {
+    for_each_case_filtered("kfold_partitions_rows_and_respects_groups", 256, |g| {
+        let n_groups = g.u32_in(6, 30);
+        let rows_per_group = g.usize_in(1, 6);
+        let k = g.usize_in(2, 6);
+        let seed = g.u64();
+        assume!(n_groups as usize >= k);
         let mut d = Dataset::with_dims(1);
-        for g in 0..n_groups {
+        for grp in 0..n_groups {
             for r in 0..rows_per_group {
-                d.push_row(&[r as f32], r % 2 == 0, g);
+                d.push_row(&[r as f32], r % 2 == 0, grp);
             }
         }
         let folds = grouped_kfold(&d, k, seed);
         let total: usize = folds.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, d.n_rows());
+        assert_eq!(total, d.n_rows());
         // Each group appears in exactly one fold.
-        for g in 0..n_groups {
+        for grp in 0..n_groups {
             let holders = folds
                 .iter()
-                .filter(|f| f.iter().any(|&i| d.group(i) == g))
+                .filter(|f| f.iter().any(|&i| d.group(i) == grp))
                 .count();
-            prop_assert_eq!(holders, 1, "group {} in {} folds", g, holders);
+            assert_eq!(holders, 1, "group {grp} in {holders} folds");
         }
-    }
+        CaseResult::Ran
+    });
+}
 
-    #[test]
-    fn downsampling_keeps_all_positives_and_ratio(
-        n_pos in 1usize..30,
-        n_neg in 30usize..200,
-        ratio in 0.5f64..4.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn downsampling_keeps_all_positives_and_ratio() {
+    for_each_case("downsampling_keeps_all_positives_and_ratio", 256, |g| {
+        let n_pos = g.usize_in(1, 30);
+        let n_neg = g.usize_in(30, 200);
+        let ratio = g.f64_in(0.5, 4.0);
+        let seed = g.u64();
         let mut d = Dataset::with_dims(1);
         for i in 0..(n_pos + n_neg) {
             d.push_row(&[i as f32], i < n_pos, i as u32);
@@ -107,15 +126,16 @@ proptest! {
         let kept = downsample_majority(&d, &all, ratio, seed);
         let kept_pos = kept.iter().filter(|&&i| d.label(i)).count();
         let kept_neg = kept.len() - kept_pos;
-        prop_assert_eq!(kept_pos, n_pos, "positives must all be kept");
+        assert_eq!(kept_pos, n_pos, "positives must all be kept");
         let want = ((n_pos as f64) * ratio).round() as usize;
-        prop_assert!(kept_neg == want.min(n_neg), "{} vs {}", kept_neg, want.min(n_neg));
-    }
+        assert!(kept_neg == want.min(n_neg), "{} vs {}", kept_neg, want.min(n_neg));
+    });
+}
 
-    #[test]
-    fn tree_probabilities_are_valid_and_pure_leaves_exact(
-        rows in prop::collection::vec((0.0f32..1.0, any::<bool>()), 10..120),
-    ) {
+#[test]
+fn tree_probabilities_are_valid_and_pure_leaves_exact() {
+    for_each_case("tree_probabilities_are_valid_and_pure_leaves_exact", 256, |g| {
+        let rows: Vec<(f32, bool)> = g.vec(10, 119, |g| (g.f64_unit() as f32, g.bool()));
         let mut d = Dataset::with_dims(1);
         for (i, (x, l)) in rows.iter().enumerate() {
             d.push_row(&[*x], *l, i as u32);
@@ -123,11 +143,11 @@ proptest! {
         let t = DecisionTree::fit(&TreeConfig::default(), &d, 1);
         for i in 0..d.n_rows() {
             let p = t.predict_proba(d.row(i));
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
         // Importances are a probability vector (or all zero for stumps).
         let imp = t.feature_importances();
         let s: f64 = imp.iter().sum();
-        prop_assert!(s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9);
-    }
+        assert!(s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9);
+    });
 }

@@ -1,0 +1,472 @@
+//! Deterministic data parallelism on a scoped worker pool.
+//!
+//! In-tree substrate for the subset of `rayon` this workspace uses:
+//! `par_iter()` over slices, `into_par_iter()` over integer ranges, the
+//! `map`/`filter_map`/`fold`/`reduce`/`collect` adapters, `par_chunks`,
+//! and `ThreadPoolBuilder::num_threads(n).build().unwrap().install(f)`.
+//!
+//! # Determinism contract
+//!
+//! Results are **independent of the number of worker threads**. The input
+//! is split into a fixed number of chunks derived only from its length
+//! (never from the pool size), workers claim chunks through an atomic
+//! cursor, and results are reassembled in chunk order. `collect` is
+//! therefore order-preserving, and `fold(...).reduce(...)` always combines
+//! per-chunk accumulators in the same left-to-right order — so even
+//! non-commutative reductions are reproducible. `tests/determinism.rs` at
+//! the workspace root pins this contract against the sequential paths.
+//!
+//! Worker threads are spawned per call via [`std::thread::scope`]; there is
+//! no global pool to configure or leak. A panic inside a worker propagates
+//! to the caller when the scope joins.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of chunks an input is split into. A fixed cap keeps
+/// per-chunk overhead negligible while still giving the work-claiming
+/// cursor enough granularity to balance uneven chunks across workers.
+const MAX_CHUNKS: usize = 32;
+
+thread_local! {
+    /// Pool-size override installed by [`ThreadPool::install`] for the
+    /// duration of a closure on the installing thread.
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads a parallel call issued from this thread will use.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE.with(|o| o.get()).unwrap_or_else(default_threads)
+}
+
+/// Split `len` items into a chunk size whose value depends only on `len`.
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(len.min(MAX_CHUNKS).max(1)).max(1)
+}
+
+/// Run `work` over every chunk of `0..len` and return the per-chunk results
+/// in chunk order. This is the single execution primitive every adapter
+/// lowers to.
+fn execute<A, W>(len: usize, work: W) -> Vec<A>
+where
+    A: Send,
+    W: Fn(Range<usize>) -> A + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let size = chunk_size(len);
+    let n_chunks = len.div_ceil(size);
+    let range = |i: usize| i * size..((i + 1) * size).min(len);
+    let workers = current_num_threads().min(n_chunks);
+    if workers <= 1 {
+        return (0..n_chunks).map(|i| work(range(i))).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<A>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                let out = work(range(i));
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed chunk"))
+        .collect()
+}
+
+/// A splittable, indexable source of items — slices, ranges, chunk views.
+pub trait ParSource: Sync + Sized {
+    type Item: Send;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn get(&self, index: usize) -> Self::Item;
+}
+
+/// Adapter methods available on every parallel source.
+pub trait ParIterExt: ParSource {
+    fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        ParMap { src: self, f }
+    }
+
+    fn filter_map<U, F>(self, f: F) -> ParFilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync,
+    {
+        ParFilterMap { src: self, f }
+    }
+
+    /// Per-chunk fold. Combine the per-chunk accumulators with
+    /// [`ParFold::reduce`]; chunking is a function of input length only,
+    /// so the result does not depend on the pool size.
+    fn fold<A, ID, F>(self, identity: ID, fold: F) -> ParFold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        ParFold { src: self, identity, fold }
+    }
+
+    /// Eager order-preserving map; convenience for `map(f).collect()`.
+    fn par_map<U, F>(self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        self.map(f).collect()
+    }
+}
+
+impl<S: ParSource> ParIterExt for S {}
+
+/// Lazy `map` adapter.
+pub struct ParMap<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, U, F> ParMap<S, F>
+where
+    S: ParSource,
+    U: Send,
+    F: Fn(S::Item) -> U + Sync,
+{
+    /// Execute and collect in source order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let len = self.src.len();
+        let chunks = execute(len, |r| {
+            let mut out = Vec::with_capacity(r.len());
+            for i in r {
+                out.push((self.f)(self.src.get(i)));
+            }
+            out
+        });
+        let mut v = Vec::with_capacity(len);
+        for c in chunks {
+            v.extend(c);
+        }
+        C::from(v)
+    }
+}
+
+/// Lazy `filter_map` adapter.
+pub struct ParFilterMap<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, U, F> ParFilterMap<S, F>
+where
+    S: ParSource,
+    U: Send,
+    F: Fn(S::Item) -> Option<U> + Sync,
+{
+    /// Execute and collect retained items in source order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let chunks = execute(self.src.len(), |r| {
+            let mut out = Vec::new();
+            for i in r {
+                if let Some(u) = (self.f)(self.src.get(i)) {
+                    out.push(u);
+                }
+            }
+            out
+        });
+        let mut v = Vec::new();
+        for c in chunks {
+            v.extend(c);
+        }
+        C::from(v)
+    }
+}
+
+/// Lazy chunked `fold` adapter; finish with [`ParFold::reduce`].
+pub struct ParFold<S, ID, F> {
+    src: S,
+    identity: ID,
+    fold: F,
+}
+
+impl<S, A, ID, F> ParFold<S, ID, F>
+where
+    S: ParSource,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, S::Item) -> A + Sync,
+{
+    /// Combine per-chunk accumulators left-to-right in chunk order.
+    pub fn reduce<ID2, R>(self, identity: ID2, reduce: R) -> A
+    where
+        ID2: Fn() -> A + Sync,
+        R: Fn(A, A) -> A + Sync,
+    {
+        let parts = execute(self.src.len(), |r| {
+            let mut acc = (self.identity)();
+            for i in r {
+                acc = (self.fold)(acc, self.src.get(i));
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), |a, b| reduce(a, b))
+    }
+}
+
+/// Borrowing parallel view of a slice (`par_iter`).
+pub struct ParSlice<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParSource for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn get(&self, index: usize) -> &'a T {
+        &self.0[index]
+    }
+}
+
+/// Parallel view of non-overlapping sub-slices (`par_chunks`).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParSource for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn get(&self, index: usize) -> &'a [T] {
+        let lo = index * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices (and anything that derefs to one).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParSlice<'_, T>;
+    /// Non-overlapping sub-slices of `chunk_size` elements (last may be
+    /// shorter), processed in parallel, yielded in order.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice(self)
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ParChunks { slice: self, size: chunk_size }
+    }
+}
+
+/// Owning conversion into a parallel source (`into_par_iter`); implemented
+/// for the integer ranges the workspace iterates over.
+pub trait IntoParallelIterator {
+    type Iter: ParSource;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel view of an integer range.
+pub struct ParRange<T>(Range<T>);
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl ParSource for ParRange<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                if self.0.end <= self.0.start { 0 } else { (self.0.end - self.0.start) as usize }
+            }
+            fn get(&self, index: usize) -> $t {
+                self.0.start + index as $t
+            }
+        }
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange(self)
+            }
+        }
+    )*};
+}
+
+impl_par_range!(u32, u64, usize);
+
+/// Error building a [`ThreadPool`]; this pool cannot actually fail to
+/// build, the `Result` mirrors the rayon signature call sites expect.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default" (all available cores), as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A sized pool. Unlike rayon there are no persistent threads; the pool is
+/// just a worker-count that [`ThreadPool::install`] scopes onto the calling
+/// thread, and each parallel call spawns scoped workers.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's size governing every parallel call `f`
+    /// makes on this thread. Restores the previous size on exit, including
+    /// on panic.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_OVERRIDE.with(|o| o.replace(Some(self.threads))));
+        f()
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParIterExt, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_independent_of_pool_size() {
+        let seq = with_threads(1, || {
+            (0..777u32).into_par_iter().map(|i| i.wrapping_mul(2654435761)).collect::<Vec<u32>>()
+        });
+        for n in [2, 3, 8] {
+            let par = with_threads(n, || {
+                (0..777u32).into_par_iter().map(|i| i.wrapping_mul(2654435761)).collect::<Vec<u32>>()
+            });
+            assert_eq!(par, seq, "pool size {n} changed the result");
+        }
+    }
+
+    #[test]
+    fn fold_reduce_is_deterministic_for_noncommutative_ops() {
+        // String concatenation is order-sensitive: any reordering of items
+        // or of chunk combination changes the output.
+        let items: Vec<String> = (0..200).map(|i| format!("{i},")).collect();
+        let run = || {
+            items
+                .par_iter()
+                .fold(String::new, |mut acc, s| {
+                    acc.push_str(s);
+                    acc
+                })
+                .reduce(String::new, |mut a, b| {
+                    a.push_str(&b);
+                    a
+                })
+        };
+        let expected: String = items.concat();
+        for n in [1, 2, 7] {
+            assert_eq!(with_threads(n, run), expected);
+        }
+    }
+
+    #[test]
+    fn filter_map_keeps_source_order() {
+        let v: Vec<usize> =
+            (0..500usize).into_par_iter().filter_map(|i| (i % 3 == 0).then_some(i)).collect();
+        assert_eq!(v, (0..500).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_slice_in_order() {
+        let data: Vec<u32> = (0..103).collect();
+        let sums: Vec<u64> =
+            data.par_chunks(10).map(|c| c.iter().map(|&x| x as u64).sum::<u64>()).collect();
+        assert_eq!(sums.len(), 11);
+        let expect: Vec<u64> =
+            data.chunks(10).map(|c| c.iter().map(|&x| x as u64).sum::<u64>()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_outputs() {
+        let v: Vec<u32> = (5..5u32).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let s: Vec<&u32> = [].par_iter().map(|x| x).collect();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn install_restores_previous_size() {
+        let outer = current_num_threads();
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+}

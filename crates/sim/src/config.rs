@@ -1,10 +1,9 @@
 //! Fleet-simulation configuration.
 
 use crate::calibration::HORIZON_DAYS;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for generating a synthetic fleet trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
     /// Drives per model (the paper's trace has "over 10,000 unique drives
     /// for each drive model").
@@ -14,6 +13,8 @@ pub struct SimConfig {
     /// Master seed; every drive derives an independent stream from it.
     pub seed: u64,
 }
+
+ssd_types::impl_json_struct!(SimConfig { drives_per_model, horizon_days, seed });
 
 impl SimConfig {
     /// Paper-scale fleet: 10,000 drives per model over six years.
@@ -74,8 +75,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let c = SimConfig::default();
-        let s = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        let s = ssd_types::json::to_string(&c);
+        let back: SimConfig = ssd_types::json::from_str(&s).unwrap();
         assert_eq!(back, c);
     }
 }

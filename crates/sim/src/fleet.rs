@@ -8,7 +8,7 @@
 use crate::calibration::ModelParams;
 use crate::config::SimConfig;
 use crate::drive::generate_drive;
-use rayon::prelude::*;
+use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
 use ssd_types::{DriveId, DriveModel, FleetTrace};
 

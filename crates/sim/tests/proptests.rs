@@ -1,38 +1,42 @@
 //! Property-based tests: simulator invariants must hold for arbitrary
 //! seeds and fleet shapes, and emitted logs must always validate.
 
-use proptest::prelude::*;
 use ssd_sim::calibration::ModelParams;
 use ssd_sim::dist::PiecewiseCdf;
 use ssd_sim::drive::generate_drive;
 use ssd_sim::{generate_fleet, SimConfig};
 use ssd_stats::SplitMix64;
+use ssd_testkit::{for_each_case, Gen};
 use ssd_types::{DriveId, DriveModel};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn any_generated_drive_log_validates(seed in any::<u64>(), model_idx in 0usize..3, horizon in 100u32..2500) {
+#[test]
+fn any_generated_drive_log_validates() {
+    for_each_case("any_generated_drive_log_validates", 32, |g| {
+        let seed = g.u64();
+        let model_idx = g.usize_in(0, 3);
+        let horizon = g.u32_in(100, 2500);
         let model = DriveModel::from_index(model_idx);
         let params = ModelParams::for_model(model);
         let mut rng = SplitMix64::for_stream(seed, 0);
         let log = generate_drive(DriveId(0), model, &params, horizon, &mut rng);
-        prop_assert!(log.validate().is_ok(), "{:?}", log.validate());
+        assert!(log.validate().is_ok(), "{:?}", log.validate());
         // All ages within the horizon.
         for r in &log.reports {
-            prop_assert!(r.age_days < horizon);
+            assert!(r.age_days < horizon);
         }
         for s in &log.swaps {
-            prop_assert!(s.swap_day < horizon);
+            assert!(s.swap_day < horizon);
             if let Some(re) = s.reentry_day {
-                prop_assert!(re < horizon);
+                assert!(re < horizon);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn failure_day_precedes_swap_in_emitted_logs(seed in any::<u64>()) {
+#[test]
+fn failure_day_precedes_swap_in_emitted_logs() {
+    for_each_case("failure_day_precedes_swap_in_emitted_logs", 32, |g| {
+        let seed = g.u64();
         let params = ModelParams::for_model(DriveModel::MlcB);
         let mut rng = SplitMix64::for_stream(seed, 1);
         let log = generate_drive(DriveId(1), DriveModel::MlcB, &params, 2190, &mut rng);
@@ -40,56 +44,61 @@ proptest! {
             // There must be no report on or after the swap day until the
             // re-entry day (the drive is physically absent).
             let until = s.reentry_day.unwrap_or(u32::MAX);
-            prop_assert!(
+            assert!(
                 !log.reports
                     .iter()
                     .any(|r| r.age_days >= s.swap_day && r.age_days < until),
                 "report during repair window"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn small_fleets_validate_and_are_deterministic(
-        seed in any::<u64>(),
-        drives in 1u32..20,
-        horizon in 200u32..1500,
-    ) {
-        let cfg = SimConfig { drives_per_model: drives, horizon_days: horizon, seed };
+#[test]
+fn small_fleets_validate_and_are_deterministic() {
+    for_each_case("small_fleets_validate_and_are_deterministic", 32, |g| {
+        let cfg = SimConfig {
+            drives_per_model: g.u32_in(1, 20),
+            horizon_days: g.u32_in(200, 1500),
+            seed: g.u64(),
+        };
         let a = generate_fleet(&cfg);
-        prop_assert!(a.validate().is_ok());
+        assert!(a.validate().is_ok());
         let b = generate_fleet(&cfg);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn piecewise_cdf_inverse_is_monotone_and_bounded(
-        v1 in 1.0f64..10.0,
-        v2 in 20.0f64..100.0,
-        c1 in 0.05f64..0.5,
-        us in prop::collection::vec(0.0f64..1.0, 1..50),
-    ) {
+#[test]
+fn piecewise_cdf_inverse_is_monotone_and_bounded() {
+    for_each_case("piecewise_cdf_inverse_is_monotone_and_bounded", 32, |g| {
+        let v1 = g.f64_in(1.0, 10.0);
+        let v2 = g.f64_in(20.0, 100.0);
+        let c1 = g.f64_in(0.05, 0.5);
+        let us = g.vec(1, 49, |g| g.f64_unit());
         let cdf = PiecewiseCdf::new(vec![(v1, c1), (v2, 1.0)], true);
         let mut sorted = us.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = f64::NEG_INFINITY;
         for u in sorted {
             let v = cdf.inverse(u);
-            prop_assert!(v >= v1 - 1e-12 && v <= v2 + 1e-12);
-            prop_assert!(v >= prev - 1e-12);
+            assert!(v >= v1 - 1e-12 && v <= v2 + 1e-12);
+            assert!(v >= prev - 1e-12);
             prev = v;
         }
-    }
+    });
+}
 
-    #[test]
-    fn distributions_have_valid_support(seed in any::<u64>()) {
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn distributions_have_valid_support() {
+    for_each_case("distributions_have_valid_support", 32, |g| {
+        let mut rng = SplitMix64::new(g.u64());
         for _ in 0..200 {
-            prop_assert!(ssd_sim::dist::exponential(&mut rng, 0.1) >= 0.0);
-            prop_assert!(ssd_sim::dist::log_normal(&mut rng, 0.0, 1.0) > 0.0);
-            prop_assert!(ssd_sim::dist::pareto(&mut rng, 2.0, 1.5) >= 2.0);
+            assert!(ssd_sim::dist::exponential(&mut rng, 0.1) >= 0.0);
+            assert!(ssd_sim::dist::log_normal(&mut rng, 0.0, 1.0) > 0.0);
+            assert!(ssd_sim::dist::pareto(&mut rng, 2.0, 1.5) >= 2.0);
             let n = ssd_sim::dist::normal(&mut rng, 0.0, 1.0);
-            prop_assert!(n.is_finite());
+            assert!(n.is_finite());
         }
-    }
+    });
 }

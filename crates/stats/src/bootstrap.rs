@@ -5,7 +5,7 @@
 //! for characterization statistics we report percentile-bootstrap CIs).
 
 use crate::rng::SplitMix64;
-use rayon::prelude::*;
+use ssd_parallel::prelude::*;
 
 /// Result of a bootstrap run: the point estimate on the original sample and
 /// a percentile confidence interval from the resample distribution.

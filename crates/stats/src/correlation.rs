@@ -6,7 +6,7 @@
 //! ranks (tie-aware) fed into Pearson.
 
 use crate::rank::fractional_ranks;
-use rayon::prelude::*;
+use ssd_parallel::prelude::*;
 
 /// Pearson product-moment correlation of two equal-length slices.
 ///

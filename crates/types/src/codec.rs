@@ -2,9 +2,10 @@
 //!
 //! A 30,000-drive, six-year trace holds tens of millions of daily reports;
 //! JSON is convenient for interchange but far too large for archival, so
-//! this module provides a simple length-prefixed binary format built on
-//! [`bytes`]. Integers use LEB128 varint encoding since most counters are
-//! small most days (errors are rare — Table 1).
+//! this module provides a simple length-prefixed binary format built on a
+//! plain `Vec<u8>` writer and a borrowing byte cursor. Integers use LEB128
+//! varint encoding since most counters are small most days (errors are
+//! rare — Table 1).
 //!
 //! The format is versioned by a magic header so stale archives fail loudly
 //! rather than decode garbage.
@@ -12,7 +13,6 @@
 use crate::{
     DailyReport, DriveId, DriveLog, DriveModel, ErrorCounts, ErrorKind, FleetTrace, SwapEvent,
 };
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes + format version prefix.
 const MAGIC: &[u8; 8] = b"SSDFS\0v1";
@@ -43,26 +43,54 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Borrowing read cursor over an encoded buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let slice = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += n;
+        Ok(slice)
+    }
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
     let mut out: u64 = 0;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() {
-            return Err(DecodeError::UnexpectedEof);
-        }
-        let byte = buf.get_u8();
+        let byte = buf.get_u8()?;
         if shift >= 64 || (shift == 63 && byte > 1) {
             return Err(DecodeError::VarintOverflow);
         }
@@ -74,19 +102,19 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
     }
 }
 
-fn get_varint_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+fn get_varint_u32(buf: &mut Reader<'_>) -> Result<u32, DecodeError> {
     let v = get_varint(buf)?;
     u32::try_from(v).map_err(|_| DecodeError::VarintOverflow)
 }
 
-fn encode_report(buf: &mut BytesMut, r: &DailyReport) {
+fn encode_report(buf: &mut Vec<u8>, r: &DailyReport) {
     put_varint(buf, u64::from(r.age_days));
     put_varint(buf, r.read_ops);
     put_varint(buf, r.write_ops);
     put_varint(buf, r.erase_ops);
     put_varint(buf, u64::from(r.pe_cycles));
     let flags = u8::from(r.status_dead) | (u8::from(r.status_read_only) << 1);
-    buf.put_u8(flags);
+    buf.push(flags);
     put_varint(buf, u64::from(r.factory_bad_blocks));
     put_varint(buf, u64::from(r.grown_bad_blocks));
     for (_, c) in r.errors.iter() {
@@ -94,16 +122,13 @@ fn encode_report(buf: &mut BytesMut, r: &DailyReport) {
     }
 }
 
-fn decode_report(buf: &mut Bytes) -> Result<DailyReport, DecodeError> {
+fn decode_report(buf: &mut Reader<'_>) -> Result<DailyReport, DecodeError> {
     let age_days = get_varint_u32(buf)?;
     let read_ops = get_varint(buf)?;
     let write_ops = get_varint(buf)?;
     let erase_ops = get_varint(buf)?;
     let pe_cycles = get_varint_u32(buf)?;
-    if !buf.has_remaining() {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let flags = buf.get_u8();
+    let flags = buf.get_u8()?;
     let factory_bad_blocks = get_varint_u32(buf)?;
     let grown_bad_blocks = get_varint_u32(buf)?;
     let mut errors = ErrorCounts::zero();
@@ -124,9 +149,9 @@ fn decode_report(buf: &mut Bytes) -> Result<DailyReport, DecodeError> {
     })
 }
 
-fn encode_drive(buf: &mut BytesMut, d: &DriveLog) {
+fn encode_drive(buf: &mut Vec<u8>, d: &DriveLog) {
     put_varint(buf, u64::from(d.id.0));
-    buf.put_u8(d.model.index() as u8);
+    buf.push(d.model.index() as u8);
     put_varint(buf, d.reports.len() as u64);
     for r in &d.reports {
         encode_report(buf, r);
@@ -136,20 +161,17 @@ fn encode_drive(buf: &mut BytesMut, d: &DriveLog) {
         put_varint(buf, u64::from(s.swap_day));
         match s.reentry_day {
             Some(day) => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_varint(buf, u64::from(day));
             }
-            None => buf.put_u8(0),
+            None => buf.push(0),
         }
     }
 }
 
-fn decode_drive(buf: &mut Bytes) -> Result<DriveLog, DecodeError> {
+fn decode_drive(buf: &mut Reader<'_>) -> Result<DriveLog, DecodeError> {
     let id = DriveId(get_varint_u32(buf)?);
-    if !buf.has_remaining() {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let model_idx = buf.get_u8();
+    let model_idx = buf.get_u8()?;
     if usize::from(model_idx) >= DriveModel::ALL.len() {
         return Err(DecodeError::BadDiscriminant(model_idx));
     }
@@ -163,10 +185,7 @@ fn decode_drive(buf: &mut Bytes) -> Result<DriveLog, DecodeError> {
     let mut swaps = Vec::with_capacity(n_swaps.min(1 << 10));
     for _ in 0..n_swaps {
         let swap_day = get_varint_u32(buf)?;
-        if !buf.has_remaining() {
-            return Err(DecodeError::UnexpectedEof);
-        }
-        let reentry_day = match buf.get_u8() {
+        let reentry_day = match buf.get_u8()? {
             0 => None,
             1 => Some(get_varint_u32(buf)?),
             d => return Err(DecodeError::BadDiscriminant(d)),
@@ -185,21 +204,22 @@ fn decode_drive(buf: &mut Bytes) -> Result<DriveLog, DecodeError> {
 }
 
 /// Encodes a fleet trace into the compact binary format.
-pub fn encode_trace(trace: &FleetTrace) -> Bytes {
+pub fn encode_trace(trace: &FleetTrace) -> Vec<u8> {
     // Rough pre-size: ~40 bytes per report avoids repeated reallocation.
-    let mut buf = BytesMut::with_capacity(64 + trace.total_drive_days() * 40);
-    buf.put_slice(MAGIC);
+    let mut buf = Vec::with_capacity(64 + trace.total_drive_days() * 40);
+    buf.extend_from_slice(MAGIC);
     put_varint(&mut buf, u64::from(trace.horizon_days));
     put_varint(&mut buf, trace.drives.len() as u64);
     for d in &trace.drives {
         encode_drive(&mut buf, d);
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a fleet trace previously produced by [`encode_trace`].
-pub fn decode_trace(mut buf: Bytes) -> Result<FleetTrace, DecodeError> {
-    if buf.remaining() < MAGIC.len() || &buf.split_to(MAGIC.len())[..] != MAGIC {
+pub fn decode_trace(buf: &[u8]) -> Result<FleetTrace, DecodeError> {
+    let mut buf = Reader::new(buf);
+    if buf.remaining() < MAGIC.len() || buf.take(MAGIC.len())? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
     let horizon_days = get_varint_u32(&mut buf)?;
@@ -214,14 +234,14 @@ pub fn decode_trace(mut buf: Bytes) -> Result<FleetTrace, DecodeError> {
     })
 }
 
-/// Serializes a trace to a pretty JSON string (interchange / inspection).
-pub fn trace_to_json(trace: &FleetTrace) -> serde_json::Result<String> {
-    serde_json::to_string(trace)
+/// Serializes a trace to a compact JSON string (interchange / inspection).
+pub fn trace_to_json(trace: &FleetTrace) -> Result<String, crate::json::JsonError> {
+    Ok(crate::json::to_string(trace))
 }
 
 /// Deserializes a trace from JSON.
-pub fn trace_from_json(s: &str) -> serde_json::Result<FleetTrace> {
-    serde_json::from_str(s)
+pub fn trace_from_json(s: &str) -> Result<FleetTrace, crate::json::JsonError> {
+    crate::json::from_str(s)
 }
 
 #[cfg(test)]
@@ -263,7 +283,7 @@ mod tests {
     fn binary_roundtrip_is_lossless() {
         let t = sample_trace();
         let bytes = encode_trace(&t);
-        let back = decode_trace(bytes).unwrap();
+        let back = decode_trace(&bytes).unwrap();
         assert_eq!(back, t);
     }
 
@@ -285,7 +305,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let err = decode_trace(Bytes::from_static(b"NOTMAGIC!!")).unwrap_err();
+        let err = decode_trace(b"NOTMAGIC!!").unwrap_err();
         assert_eq!(err, DecodeError::BadMagic);
     }
 
@@ -293,24 +313,23 @@ mod tests {
     fn truncated_buffer_is_rejected() {
         let t = sample_trace();
         let bytes = encode_trace(&t);
-        let cut = bytes.slice(0..bytes.len() - 5);
+        let cut = &bytes[..bytes.len() - 5];
         assert!(decode_trace(cut).is_err());
     }
 
     #[test]
     fn varint_roundtrip_edges() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = Vec::new();
             put_varint(&mut buf, v);
-            let mut b = buf.freeze();
+            let mut b = Reader::new(&buf);
             assert_eq!(get_varint(&mut b).unwrap(), v);
         }
     }
 
     #[test]
     fn varint_overflow_is_detected() {
-        // 11 continuation bytes exceed u64 capacity.
-        let mut b = Bytes::from_static(&[0xff; 11]);
+        let mut b = Reader::new(&[0xff; 11]);
         assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
     }
 }

@@ -1,7 +1,6 @@
 //! Dense per-day error counters.
 
 use crate::error_kind::ErrorKind;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Index, IndexMut};
 
 /// Per-day counts for each of the ten error types, stored densely and
@@ -10,8 +9,21 @@ use std::ops::{Add, AddAssign, Index, IndexMut};
 /// Counts are `u64`: correctable-error counts in particular can be very
 /// large (they count corrected *bits*), and cumulative sums over a six-year
 /// lifetime overflow `u32` easily.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ErrorCounts(pub [u64; ErrorKind::COUNT]);
+
+// Serialized transparently, as the bare array of ten counts.
+impl crate::json::ToJson for ErrorCounts {
+    fn to_json(&self) -> crate::json::Value {
+        crate::json::ToJson::to_json(&self.0)
+    }
+}
+
+impl crate::json::FromJson for ErrorCounts {
+    fn from_json(v: &crate::json::Value) -> Result<Self, crate::json::JsonError> {
+        <[u64; ErrorKind::COUNT]>::from_json(v).map(ErrorCounts)
+    }
+}
 
 impl ErrorCounts {
     /// All-zero counters.

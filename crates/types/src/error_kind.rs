@@ -1,7 +1,5 @@
 //! The ten-error taxonomy of the trace (Section 2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// The ten error types reported in the daily log, in the paper's order.
 ///
 /// Section 2 splits these into two classes:
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// * **non-transparent** errors are user-visible lapses of drive function:
 ///   final read, final write, meta, response, timeout, and uncorrectable
 ///   errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ErrorKind {
     /// Bits found corrupted and corrected by drive-internal ECC during reads.
     Correctable,
@@ -36,13 +34,28 @@ pub enum ErrorKind {
 }
 
 /// Transparency class of an error type (Section 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorClass {
     /// May be hidden from the user.
     Transparent,
     /// May not be hidden from the user.
     NonTransparent,
 }
+
+crate::impl_json_enum!(ErrorKind {
+    Correctable,
+    Erase,
+    FinalRead,
+    FinalWrite,
+    Meta,
+    Read,
+    Response,
+    Timeout,
+    Uncorrectable,
+    Write,
+});
+
+crate::impl_json_enum!(ErrorClass { Transparent, NonTransparent });
 
 impl ErrorKind {
     /// Number of distinct error kinds.

@@ -1,17 +1,26 @@
 //! Drive identifiers.
 
-use serde::{Deserialize, Serialize};
 
 /// Unique identifier for a drive.
 ///
 /// In the original trace this is a hash of the drive's serial number; in the
 /// simulator it is a dense index into the fleet. `DriveId` is a newtype so
 /// the two cannot be confused with ordinary integers (e.g. day indices).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DriveId(pub u32);
+
+// Serialized transparently, as the bare integer.
+impl crate::json::ToJson for DriveId {
+    fn to_json(&self) -> crate::json::Value {
+        crate::json::Value::UInt(self.0 as u64)
+    }
+}
+
+impl crate::json::FromJson for DriveId {
+    fn from_json(v: &crate::json::Value) -> Result<Self, crate::json::JsonError> {
+        u32::from_json(v).map(DriveId)
+    }
+}
 
 impl DriveId {
     /// Returns the raw index value.
@@ -53,9 +62,9 @@ mod tests {
 
     #[test]
     fn serde_is_transparent() {
-        let json = serde_json::to_string(&DriveId(42)).unwrap();
+        let json = crate::json::to_string(&DriveId(42));
         assert_eq!(json, "42");
-        let back: DriveId = serde_json::from_str(&json).unwrap();
+        let back: DriveId = crate::json::from_str(&json).unwrap();
         assert_eq!(back, DriveId(42));
     }
 }

@@ -16,8 +16,8 @@
 //! workspace: the simulator ([`ssd-sim`]) produces them, and every analysis
 //! in `ssd-field-study-core` consumes them. A user with access to a real
 //! field trace can deserialize it into these types (all types are
-//! serde-enabled and a compact binary codec is provided in [`codec`]) and run
-//! the identical analyses.
+//! JSON-enabled via the in-tree [`json`] module and a compact binary codec
+//! is provided in [`codec`]) and run the identical analyses.
 //!
 //! ## Layout
 //!
@@ -30,6 +30,8 @@
 //! * [`swap`] — swap (repair-extraction) events.
 //! * [`log`] — a single drive's full history and fleet-level traces.
 //! * [`codec`] — compact binary serialization for large traces.
+//! * [`json`] — minimal JSON writer/parser and conversion traits (the
+//!   workspace builds offline, so this replaces `serde`/`serde_json`).
 
 #![warn(missing_docs)]
 
@@ -38,6 +40,7 @@ pub mod counts;
 pub mod csv;
 pub mod error_kind;
 pub mod id;
+pub mod json;
 pub mod log;
 pub mod model;
 pub mod report;

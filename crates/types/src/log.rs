@@ -1,12 +1,11 @@
 //! Per-drive histories and fleet-level traces.
 
 use crate::{DailyReport, DriveId, DriveModel, SwapEvent};
-use serde::{Deserialize, Serialize};
 
 /// The complete observed history of one drive: its daily reports (sorted by
 /// age, with gaps where the drive did not report) and its swap events
 /// (sorted by swap day).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveLog {
     /// Unique drive identifier.
     pub id: DriveId,
@@ -18,6 +17,8 @@ pub struct DriveLog {
     /// Swap events, strictly increasing in `swap_day`.
     pub swaps: Vec<SwapEvent>,
 }
+
+crate::impl_json_struct!(DriveLog { id, model, reports, swaps });
 
 impl DriveLog {
     /// Creates an empty log for a drive.
@@ -99,7 +100,7 @@ impl DriveLog {
 }
 
 /// A fleet-level trace: the logs of every drive in the observation window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetTrace {
     /// Length of the observation window in days (the paper's trace spans
     /// six years).
@@ -107,6 +108,8 @@ pub struct FleetTrace {
     /// One log per drive.
     pub drives: Vec<DriveLog>,
 }
+
+crate::impl_json_struct!(FleetTrace { horizon_days, drives });
 
 impl FleetTrace {
     /// Creates an empty trace with the given horizon.

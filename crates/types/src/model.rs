@@ -1,14 +1,12 @@
 //! The three MLC drive models studied by the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// MLC SSD model, named as in the paper (and in the prior FAST '16 /
 /// USENIX ATC '17 studies of the same trace): MLC-A, MLC-B, MLC-D.
 ///
 /// All three models come from the same vendor, have 480 GB capacity,
 /// ~50 nm lithography, custom firmware, and a 3000 P/E-cycle endurance
 /// limit; they differ in their field failure behaviour (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DriveModel {
     /// MLC-A: lowest observed failure incidence (6.95% of drives).
     MlcA,
@@ -17,6 +15,8 @@ pub enum DriveModel {
     /// MLC-D: intermediate failure incidence (12.5% of drives).
     MlcD,
 }
+
+crate::impl_json_enum!(DriveModel { MlcA, MlcB, MlcD });
 
 impl DriveModel {
     /// All models, in canonical (paper) order.

@@ -1,7 +1,6 @@
 //! The daily performance report record (Section 2 of the paper).
 
 use crate::counts::ErrorCounts;
-use serde::{Deserialize, Serialize};
 
 /// One day of drive activity, as reported in the error log.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// Days on which the drive reports nothing (complete failure, or simply
 /// missing from the log) have **no** `DailyReport`; absence of a report is
 /// itself a signal used by the failure-point definition in Section 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DailyReport {
     /// Drive age in whole days at the time of this report (day 0 = first
     /// day of the drive's lifetime). The original log reports microseconds
@@ -40,6 +39,19 @@ pub struct DailyReport {
     /// Counts of each error type that occurred during this day.
     pub errors: ErrorCounts,
 }
+
+crate::impl_json_struct!(DailyReport {
+    age_days,
+    read_ops,
+    write_ops,
+    erase_ops,
+    pe_cycles,
+    status_dead,
+    status_read_only,
+    factory_bad_blocks,
+    grown_bad_blocks,
+    errors,
+});
 
 impl DailyReport {
     /// A blank report for a given age with all counters zero.
@@ -114,8 +126,8 @@ mod tests {
         let mut r = DailyReport::empty(42);
         r.write_ops = 1_000_000;
         r.errors.set(ErrorKind::Uncorrectable, 9);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: DailyReport = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&r);
+        let back: DailyReport = crate::json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 }

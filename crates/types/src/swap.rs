@@ -1,14 +1,12 @@
 //! Swap events: extraction of failed drives into the repair process.
 
-use serde::{Deserialize, Serialize};
-
 /// A swap event (Section 3).
 ///
 /// Swaps denote visits to the repair process — not spare-part shuffling.
 /// Every swap follows a drive failure, so "each swap documented in the log
 /// corresponds to a single, catastrophic failure". After repair, the drive
 /// may or may not re-enter the field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapEvent {
     /// Drive age (days) at which the physical swap occurred.
     pub swap_day: u32,
@@ -16,6 +14,8 @@ pub struct SwapEvent {
     /// repair, if it was ever observed to return within the trace horizon.
     pub reentry_day: Option<u32>,
 }
+
+crate::impl_json_struct!(SwapEvent { swap_day, reentry_day });
 
 impl SwapEvent {
     /// Length of the repair process in days ("time to repair"),

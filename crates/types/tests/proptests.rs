@@ -1,134 +1,119 @@
 //! Property-based tests: the binary codec must be lossless for *arbitrary*
 //! well-formed traces, not just simulator output.
 
-use proptest::prelude::*;
+use ssd_testkit::{for_each_case, Gen};
 use ssd_types::codec::{decode_trace, encode_trace};
 use ssd_types::{
     DailyReport, DriveId, DriveLog, DriveModel, ErrorCounts, ErrorKind, FleetTrace, SwapEvent,
 };
 
-fn arb_error_counts() -> impl Strategy<Value = ErrorCounts> {
-    prop::collection::vec(0u64..1_000_000_000, ErrorKind::COUNT).prop_map(|v| {
-        let mut c = ErrorCounts::zero();
-        for (i, count) in v.into_iter().enumerate() {
-            c.set(ErrorKind::from_index(i), count);
-        }
-        c
-    })
-}
-
-fn arb_report() -> impl Strategy<Value = DailyReport> {
-    (
-        0u32..3000,
-        0u64..1_000_000_000,
-        0u64..1_000_000_000,
-        0u64..10_000_000,
-        0u32..10_000,
-        any::<bool>(),
-        any::<bool>(),
-        0u32..50,
-        0u32..100_000,
-        arb_error_counts(),
-    )
-        .prop_map(
-            |(age, r, w, e, pe, dead, ro, fbb, gbb, errors)| DailyReport {
-                age_days: age,
-                read_ops: r,
-                write_ops: w,
-                erase_ops: e,
-                pe_cycles: pe,
-                status_dead: dead,
-                status_read_only: ro,
-                factory_bad_blocks: fbb,
-                grown_bad_blocks: gbb,
-                errors,
-            },
-        )
-}
-
-fn arb_drive(id: u32) -> impl Strategy<Value = DriveLog> {
-    (
-        0usize..3,
-        prop::collection::vec(arb_report(), 0..40),
-        prop::collection::vec((0u32..4000, prop::option::of(0u32..2000)), 0..4),
-    )
-        .prop_map(move |(model, mut reports, swaps)| {
-            // Make reports strictly increasing in age by re-assigning ages.
-            reports.sort_by_key(|r| r.age_days);
-            for (i, r) in reports.iter_mut().enumerate() {
-                r.age_days = i as u32 * 3 + (r.age_days % 3);
-            }
-            reports.dedup_by_key(|r| r.age_days);
-            let mut day = 0u32;
-            let swaps = swaps
-                .into_iter()
-                .map(|(gap, rep)| {
-                    day += 1 + gap % 500;
-                    let swap_day = day;
-                    let reentry_day = rep.map(|r| {
-                        day += 1 + r % 400;
-                        day
-                    });
-                    SwapEvent {
-                        swap_day,
-                        reentry_day,
-                    }
-                })
-                .collect();
-            DriveLog {
-                id: DriveId(id),
-                model: DriveModel::from_index(model),
-                reports,
-                swaps,
-            }
-        })
-}
-
-fn arb_trace() -> impl Strategy<Value = FleetTrace> {
-    prop::collection::vec(any::<u8>(), 1..6).prop_flat_map(|ids| {
-        let drives: Vec<_> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, _)| arb_drive(i as u32))
-            .collect();
-        (0u32..5000, drives).prop_map(|(horizon, drives)| FleetTrace {
-            horizon_days: horizon,
-            drives,
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn binary_codec_roundtrip(trace in arb_trace()) {
-        let bytes = encode_trace(&trace);
-        let back = decode_trace(bytes).expect("decode");
-        prop_assert_eq!(back, trace);
+fn arb_error_counts(g: &mut Gen) -> ErrorCounts {
+    let mut c = ErrorCounts::zero();
+    for i in 0..ErrorKind::COUNT {
+        c.set(ErrorKind::from_index(i), g.u64_in(0, 1_000_000_000));
     }
+    c
+}
 
-    #[test]
-    fn json_codec_roundtrip(trace in arb_trace()) {
+fn arb_report(g: &mut Gen) -> DailyReport {
+    DailyReport {
+        age_days: g.u32_in(0, 3000),
+        read_ops: g.u64_in(0, 1_000_000_000),
+        write_ops: g.u64_in(0, 1_000_000_000),
+        erase_ops: g.u64_in(0, 10_000_000),
+        pe_cycles: g.u32_in(0, 10_000),
+        status_dead: g.bool(),
+        status_read_only: g.bool(),
+        factory_bad_blocks: g.u32_in(0, 50),
+        grown_bad_blocks: g.u32_in(0, 100_000),
+        errors: arb_error_counts(g),
+    }
+}
+
+fn arb_drive(g: &mut Gen, id: u32) -> DriveLog {
+    let model = g.usize_in(0, 3);
+    let mut reports = g.vec(0, 39, arb_report);
+    let raw_swaps: Vec<(u32, Option<u32>)> =
+        g.vec(0, 3, |g| (g.u32_in(0, 4000), g.option(|g| g.u32_in(0, 2000))));
+    // Make reports strictly increasing in age by re-assigning ages.
+    reports.sort_by_key(|r| r.age_days);
+    for (i, r) in reports.iter_mut().enumerate() {
+        r.age_days = i as u32 * 3 + (r.age_days % 3);
+    }
+    reports.dedup_by_key(|r| r.age_days);
+    let mut day = 0u32;
+    let swaps = raw_swaps
+        .into_iter()
+        .map(|(gap, rep)| {
+            day += 1 + gap % 500;
+            let swap_day = day;
+            let reentry_day = rep.map(|r| {
+                day += 1 + r % 400;
+                day
+            });
+            SwapEvent {
+                swap_day,
+                reentry_day,
+            }
+        })
+        .collect();
+    DriveLog {
+        id: DriveId(id),
+        model: DriveModel::from_index(model),
+        reports,
+        swaps,
+    }
+}
+
+fn arb_trace(g: &mut Gen) -> FleetTrace {
+    let n_drives = g.usize_in(1, 6);
+    let drives = (0..n_drives).map(|i| arb_drive(g, i as u32)).collect();
+    FleetTrace {
+        horizon_days: g.u32_in(0, 5000),
+        drives,
+    }
+}
+
+#[test]
+fn binary_codec_roundtrip() {
+    for_each_case("binary_codec_roundtrip", 64, |g| {
+        let trace = arb_trace(g);
+        let bytes = encode_trace(&trace);
+        let back = decode_trace(&bytes).expect("decode");
+        assert_eq!(back, trace);
+    });
+}
+
+#[test]
+fn json_codec_roundtrip() {
+    for_each_case("json_codec_roundtrip", 64, |g| {
+        let trace = arb_trace(g);
         let s = ssd_types::codec::trace_to_json(&trace).unwrap();
         let back = ssd_types::codec::trace_from_json(&s).unwrap();
-        prop_assert_eq!(back, trace);
-    }
+        assert_eq!(back, trace);
+    });
+}
 
-    #[test]
-    fn truncation_never_panics(trace in arb_trace(), cut in 0usize..64) {
+#[test]
+fn truncation_never_panics() {
+    for_each_case("truncation_never_panics", 64, |g| {
+        let trace = arb_trace(g);
+        let cut = g.usize_in(0, 64);
         let bytes = encode_trace(&trace);
         let keep = bytes.len().saturating_sub(cut);
         // Either decodes (cut == 0) or errors; must never panic.
-        let _ = decode_trace(bytes.slice(0..keep));
-    }
+        let _ = decode_trace(&bytes[..keep]);
+    });
+}
 
-    #[test]
-    fn error_counts_sum_identities(c in arb_error_counts()) {
+#[test]
+fn error_counts_sum_identities() {
+    for_each_case("error_counts_sum_identities", 64, |g| {
+        let c = arb_error_counts(g);
         let total = c.total();
         let nt = c.total_non_transparent();
         let t: u64 = ErrorKind::transparent().map(|k| c.get(k)).sum();
-        prop_assert_eq!(total, nt + t);
-        prop_assert_eq!(nt > 0, c.any_non_transparent());
-    }
+        assert_eq!(total, nt + t);
+        assert_eq!(nt > 0, c.any_non_transparent());
+    });
 }

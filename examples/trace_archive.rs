@@ -38,7 +38,7 @@ fn main() {
     );
 
     // Round-trip integrity: both codecs must reproduce the trace exactly.
-    let from_bin = codec::decode_trace(bin).expect("decode binary");
+    let from_bin = codec::decode_trace(&bin).expect("decode binary");
     assert_eq!(from_bin, trace, "binary round trip must be lossless");
     let from_json = codec::trace_from_json(&json).expect("decode json");
     assert_eq!(from_json, trace, "json round trip must be lossless");

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification sweep for the hermetic workspace. Everything here must
+# pass with no network access and no crate registry.
+#
+#   scripts/verify.sh          # tier-1 + full workspace + benches compile
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== offline build (debug) =="
+cargo build --offline
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: root test suite =="
+cargo test -q --offline
+
+echo "== full workspace test suite =="
+cargo test -q --offline --workspace
+
+echo "== benches compile (all 12 targets) =="
+cargo bench --no-run --offline --workspace
+
+echo "== examples compile =="
+cargo build --offline --examples
+
+echo "verify: all green"

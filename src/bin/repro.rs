@@ -66,11 +66,11 @@ const ALL_IDS_WITH_TAB8: [&str; 23] = [
     "fig16", "tab8",
 ];
 
-fn save_json(dir: &Option<String>, id: &str, value: &impl serde::Serialize) {
+fn save_json(dir: &Option<String>, id: &str, value: &impl ssd_types::json::ToJson) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create json dir");
         let path = format!("{dir}/{id}.json");
-        let body = serde_json::to_string_pretty(value).expect("serialize result");
+        let body = ssd_types::json::to_string_pretty(value);
         std::fs::write(&path, body).expect("write json");
         eprintln!("  [wrote {path}]");
     }

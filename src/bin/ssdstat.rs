@@ -66,7 +66,7 @@ fn load(args: &Args) -> FleetTrace {
         }
         _ => {
             let bytes = std::fs::read(path).expect("read archive");
-            codec::decode_trace(bytes::Bytes::from(bytes)).expect("decode archive")
+            codec::decode_trace(&bytes).expect("decode archive")
         }
     }
 }

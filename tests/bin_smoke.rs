@@ -1,0 +1,151 @@
+//! End-to-end smoke tests for the three binaries on a tiny fleet
+//! (7 drives/model × 3 models ≈ 20 drives over 120 days). Each test drives
+//! the compiled binary through `CARGO_BIN_EXE_*` the way a user would, then
+//! checks the artifacts with the library entry points.
+
+use ssd_types::{codec, json};
+use std::path::PathBuf;
+use std::process::Command;
+
+const DRIVES_PER_MODEL: &str = "7";
+const DAYS: &str = "120";
+const SEED: &str = "99";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssd_bin_smoke_{}_{name}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    let out = Command::new(bin).args(args).output().expect("spawn binary");
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn gen_trace(dir: &std::path::Path, format: &str) {
+    run(
+        env!("CARGO_BIN_EXE_ssdgen"),
+        &[
+            "--out",
+            dir.to_str().unwrap(),
+            "--drives",
+            DRIVES_PER_MODEL,
+            "--days",
+            DAYS,
+            "--seed",
+            SEED,
+            "--format",
+            format,
+        ],
+    );
+}
+
+#[test]
+fn ssdgen_bin_archive_decodes_and_validates() {
+    let dir = scratch("gen_bin");
+    gen_trace(&dir, "bin");
+    let bytes = std::fs::read(dir.join("trace.ssdfs")).expect("read archive");
+    let trace = codec::decode_trace(&bytes).expect("decode archive");
+    trace.validate().expect("trace invariants");
+    assert_eq!(trace.horizon_days, 120);
+    assert_eq!(trace.n_drives(), 21, "7 drives for each of 3 models");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdgen_formats_agree_on_the_same_seed() {
+    let bin_dir = scratch("gen_agree_bin");
+    let json_dir = scratch("gen_agree_json");
+    gen_trace(&bin_dir, "bin");
+    gen_trace(&json_dir, "json");
+    let bytes = std::fs::read(bin_dir.join("trace.ssdfs")).expect("read archive");
+    let from_bin = codec::decode_trace(&bytes).expect("decode archive");
+    let body = std::fs::read_to_string(json_dir.join("trace.json")).expect("read json");
+    let from_json = codec::trace_from_json(&body).expect("parse json trace");
+    assert_eq!(from_bin, from_json, "bin and json exports must carry the same trace");
+    std::fs::remove_dir_all(&bin_dir).ok();
+    std::fs::remove_dir_all(&json_dir).ok();
+}
+
+#[test]
+fn ssdstat_reads_binary_archive_and_audits() {
+    let dir = scratch("stat_bin");
+    gen_trace(&dir, "bin");
+    let trace_path = dir.join("trace.ssdfs");
+    let out = run(
+        env!("CARGO_BIN_EXE_ssdstat"),
+        &["--trace", trace_path.to_str().unwrap(), "--audit"],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace summary"), "missing summary:\n{stdout}");
+    assert!(stdout.contains("drives:       21"), "wrong drive count:\n{stdout}");
+    assert!(
+        stdout.contains("paper observations hold on this trace"),
+        "missing audit tail:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdstat_reads_csv_directory_with_horizon() {
+    let dir = scratch("stat_csv");
+    gen_trace(&dir, "csv");
+    assert!(dir.join("reports.csv").is_file());
+    assert!(dir.join("swaps.csv").is_file());
+    let out = run(
+        env!("CARGO_BIN_EXE_ssdstat"),
+        &["--trace", dir.to_str().unwrap(), "--horizon", DAYS],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("horizon:      120 days"), "wrong horizon:\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_runs_cheap_experiments_and_writes_parseable_json() {
+    let dir = scratch("repro");
+    let out = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &[
+            "--scale",
+            "test",
+            "--seed",
+            SEED,
+            "--json",
+            dir.to_str().unwrap(),
+            "fig1",
+            "tab3",
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("=== fig1 ==="), "fig1 did not run:\n{stdout}");
+    assert!(stdout.contains("=== tab3 ==="), "tab3 did not run:\n{stdout}");
+    for id in ["fig1", "tab3"] {
+        let body = std::fs::read_to_string(dir.join(format!("{id}.json")))
+            .unwrap_or_else(|e| panic!("read {id}.json: {e}"));
+        let value = json::parse(&body).unwrap_or_else(|e| panic!("parse {id}.json: {e}"));
+        assert!(
+            matches!(value, json::Value::Obj(_)),
+            "{id}.json should be a JSON object"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_rejects_unknown_scale() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "bogus"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "bogus scale must fail");
+}

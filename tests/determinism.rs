@@ -27,13 +27,17 @@ fn fleet_generation_is_thread_count_independent() {
 #[test]
 fn fleet_generation_is_repeatable_within_and_across_thread_pools() {
     let a = generate_fleet(&cfg());
-    // A second run on a differently-sized rayon pool must agree.
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(2)
-        .build()
-        .unwrap();
-    let b = pool.install(|| generate_fleet(&cfg()));
-    assert_eq!(a, b);
+    let a_bytes = encode_trace(&a);
+    // Runs on differently-sized pools must agree byte-for-byte.
+    for n_threads in [1, 2, 5] {
+        let pool = ssd_field_study::parallel::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .build()
+            .unwrap();
+        let b = pool.install(|| generate_fleet(&cfg()));
+        assert_eq!(a, b, "pool size {n_threads} changed the fleet");
+        assert_eq!(a_bytes, encode_trace(&b));
+    }
 }
 
 #[test]

@@ -17,7 +17,7 @@ fn trace() -> ssd_field_study::types::FleetTrace {
 fn binary_roundtrip_fleet_scale() {
     let t = trace();
     let bytes = encode_trace(&t);
-    let back = decode_trace(bytes).expect("decode");
+    let back = decode_trace(&bytes).expect("decode");
     assert_eq!(back, t);
     back.validate().expect("invariants survive the codec");
 }
@@ -33,7 +33,7 @@ fn json_roundtrip_fleet_scale() {
 #[test]
 fn codecs_agree_with_each_other() {
     let t = trace();
-    let via_bin = decode_trace(encode_trace(&t)).unwrap();
+    let via_bin = decode_trace(&encode_trace(&t)).unwrap();
     let via_json = trace_from_json(&trace_to_json(&t).unwrap()).unwrap();
     assert_eq!(via_bin, via_json);
 }
@@ -58,9 +58,9 @@ fn corrupted_archives_fail_loudly() {
     let t = trace();
     let bytes = encode_trace(&t);
     // Truncation.
-    assert!(decode_trace(bytes.slice(0..bytes.len() / 2)).is_err());
+    assert!(decode_trace(&bytes[..bytes.len() / 2]).is_err());
     // Header corruption.
     let mut v = bytes.to_vec();
     v[0] ^= 0xFF;
-    assert!(decode_trace(bytes::Bytes::from(v)).is_err());
+    assert!(decode_trace(&v).is_err());
 }
