@@ -2,7 +2,7 @@
 //! sequential) and trace codec performance.
 
 use ssd_bench::{criterion_group, criterion_main, BatchSize, Criterion};
-use ssd_sim::{generate_fleet, generate_fleet_sequential, SimConfig};
+use ssd_sim::{generate_fleet, generate_fleet_archive, generate_fleet_sequential, SimConfig};
 use ssd_types::codec::{decode_trace, encode_trace};
 
 fn cfg() -> SimConfig {
@@ -41,5 +41,36 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_codec);
+/// Arena/SoA archive path against the materialize-then-encode baseline at
+/// bench scale. The byte-level equivalence of the two is pinned by
+/// tests/determinism.rs; this group tracks the perf delta.
+fn bench_archive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_archive");
+    g.sample_size(10);
+    g.bench_function("arena_180_drives", |b| {
+        b.iter(|| generate_fleet_archive(&cfg()))
+    });
+    g.bench_function("baseline_180_drives", |b| {
+        b.iter(|| encode_trace(&generate_fleet(&cfg())))
+    });
+    g.finish();
+}
+
+/// Paper-scale throughput: 30k drives × 6 years, generated straight into
+/// an encoded archive. Opt-in via `SSD_BENCH_PAPER=1` — one iteration
+/// takes tens of seconds, so it is excluded from the standard sweep.
+fn bench_paper_scale(c: &mut Criterion) {
+    if std::env::var("SSD_BENCH_PAPER").map(|v| v != "1").unwrap_or(true) {
+        return;
+    }
+    let cfg = SimConfig::paper_scale(1);
+    let mut g = c.benchmark_group("paper_scale");
+    g.sample_size(2);
+    g.bench_function("archive_30k_6y", |b| {
+        b.iter(|| generate_fleet_archive(&cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_codec, bench_archive, bench_paper_scale);
 criterion_main!(benches);

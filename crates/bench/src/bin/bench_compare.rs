@@ -1,0 +1,113 @@
+//! Diffs the two most recent bench-history entries per bench id.
+//!
+//! Reads every run log under `target/bench-history/` (see
+//! `ssd_bench::harness`), orders them chronologically, and for each bench
+//! id prints the previous and latest median with the speedup factor.
+//! Invoked via `scripts/bench_compare.sh`; an optional argument filters
+//! bench ids by substring.
+//!
+//! Exit status is 0 even when ids have only one recorded run — the tool
+//! reports, it does not gate.
+
+use ssd_bench::{bench_history_dir, BenchRunLog};
+
+fn fmt_ns(ns: u64) -> String {
+    ssd_bench::harness::fmt_duration(std::time::Duration::from_nanos(ns))
+}
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let Some(dir) = bench_history_dir() else {
+        eprintln!("bench_compare: history disabled (SSD_BENCH_HISTORY_DIR=0) or no workspace root found");
+        std::process::exit(1);
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!(
+                "bench_compare: no history at {} ({err}); run `cargo bench` first",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let mut runs: Vec<BenchRunLog> = Vec::new();
+    let mut skipped = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| ssd_types::json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(log) => runs.push(log),
+            Err(err) => {
+                eprintln!("bench_compare: skipping {}: {err}", path.display());
+                skipped += 1;
+            }
+        }
+    }
+    if runs.is_empty() {
+        eprintln!(
+            "bench_compare: no readable run logs in {} ({skipped} skipped)",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    runs.sort_by_key(|r| r.unix_ms);
+
+    // Per bench id, keep the last two medians in chronological order.
+    let mut history: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
+    for run in &runs {
+        for rec in &run.entries {
+            if let Some(f) = &filter {
+                if !rec.id.contains(f.as_str()) {
+                    continue;
+                }
+            }
+            let slot = match history.iter_mut().find(|(id, _)| *id == rec.id) {
+                Some((_, runs)) => runs,
+                None => {
+                    history.push((rec.id.clone(), Vec::new()));
+                    &mut history.last_mut().unwrap().1
+                }
+            };
+            slot.push((run.unix_ms, rec.median_ns));
+        }
+    }
+    if history.is_empty() {
+        eprintln!("bench_compare: no bench ids match filter");
+        std::process::exit(1);
+    }
+
+    let id_width = history.iter().map(|(id, _)| id.len()).max().unwrap_or(8).max(8);
+    println!(
+        "{:<id_width$}  {:>12}  {:>12}  {:>8}",
+        "bench id", "before", "after", "speedup"
+    );
+    for (id, samples) in &history {
+        match samples.as_slice() {
+            [] => unreachable!("ids are only inserted with a sample"),
+            [(_, only)] => {
+                println!(
+                    "{id:<id_width$}  {:>12}  {:>12}  {:>8}",
+                    "-",
+                    fmt_ns(*only),
+                    "n/a (single run)"
+                );
+            }
+            [.., (_, before), (_, after)] => {
+                let speedup = *before as f64 / (*after).max(1) as f64;
+                println!(
+                    "{id:<id_width$}  {:>12}  {:>12}  {:>7.2}x",
+                    fmt_ns(*before),
+                    fmt_ns(*after),
+                    speedup
+                );
+            }
+        }
+    }
+}

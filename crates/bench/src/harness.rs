@@ -1,4 +1,4 @@
-//! Minimal Criterion-compatible timing harness.
+//! Minimal Criterion-compatible timing harness with persisted run history.
 //!
 //! In-tree substrate for the `criterion` surface the benches use:
 //! [`Criterion`], [`Criterion::benchmark_group`] with
@@ -12,13 +12,108 @@
 //! to override the per-group sample count (e.g. `SSD_BENCH_SAMPLES=3` for
 //! a quick smoke run). `cargo bench -- <filter>` runs only the functions
 //! whose `group/name` id contains the filter substring.
+//!
+//! # Run history
+//!
+//! Every bench-binary run additionally persists its measurements as one
+//! JSON document under `target/bench-history/` (written when the harness
+//! is dropped at process exit). Each file is a [`BenchRunLog`]:
+//! a timestamp, the bench binary's name, and one [`BenchRecord`] per
+//! measured id. `scripts/bench_compare.sh` (the `bench_compare` binary in
+//! this crate) diffs the two most recent records per bench id, which is
+//! how perf PRs document before/after.
+//!
+//! Set `SSD_BENCH_HISTORY_DIR` to redirect the history directory, or to
+//! `0` to disable persistence for a run.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// One measured bench function within a run: its `group/name` id and the
+/// timing summary over the recorded samples, in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Bench id (`group/name`, or the bare name outside a group).
+    pub id: String,
+    /// Number of timed samples (after the warm-up call).
+    pub samples: u64,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: u64,
+    /// Median sample, in nanoseconds.
+    pub median_ns: u64,
+    /// Mean over all samples, in nanoseconds.
+    pub mean_ns: u64,
+}
+
+ssd_types::impl_json_struct!(BenchRecord { id, samples, min_ns, median_ns, mean_ns });
+
+/// One persisted bench run: every [`BenchRecord`] measured by a single
+/// bench-binary invocation, stamped with wall-clock time so history files
+/// order chronologically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRunLog {
+    /// Milliseconds since the Unix epoch at the time the run was persisted.
+    pub unix_ms: u64,
+    /// Name of the bench binary (e.g. `bench_sim`), hash suffix stripped.
+    pub binary: String,
+    /// One record per measured bench id, in execution order.
+    pub entries: Vec<BenchRecord>,
+}
+
+ssd_types::impl_json_struct!(BenchRunLog { unix_ms, binary, entries });
+
+/// Resolves the bench-history directory: `SSD_BENCH_HISTORY_DIR` when set
+/// (`0` or the empty string disables persistence), else
+/// `$CARGO_TARGET_DIR/bench-history`, else `target/bench-history` next to
+/// the workspace `Cargo.lock` found by walking up from the working
+/// directory.
+pub fn bench_history_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("SSD_BENCH_HISTORY_DIR") {
+        if dir.is_empty() || dir == "0" {
+            return None;
+        }
+        return Some(PathBuf::from(dir));
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(target).join("bench-history"));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir.join("target").join("bench-history"));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Name of the running bench binary with cargo's `-<hash>` suffix removed.
+fn binary_name() -> String {
+    let raw = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&raw)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    // cargo names bench executables `<target>-<16 hex digits>`.
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
 
 /// Top-level harness handle, one per bench binary.
 pub struct Criterion {
     filter: Option<String>,
     default_sample_size: usize,
+    records: RefCell<Vec<BenchRecord>>,
+    history_dir: Option<PathBuf>,
 }
 
 impl Default for Criterion {
@@ -32,11 +127,24 @@ impl Default for Criterion {
         Criterion {
             filter,
             default_sample_size: 10,
+            records: RefCell::new(Vec::new()),
+            history_dir: bench_history_dir(),
         }
     }
 }
 
 impl Criterion {
+    /// A harness that never persists history — used by unit tests.
+    #[cfg(test)]
+    fn unpersisted(filter: Option<String>, default_sample_size: usize) -> Self {
+        Criterion {
+            filter,
+            default_sample_size,
+            records: RefCell::new(Vec::new()),
+            history_dir: None,
+        }
+    }
+
     /// Start a named group of related measurements.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -74,7 +182,42 @@ impl Criterion {
             durations: Vec::with_capacity(samples),
         };
         f(&mut b);
-        b.report(id);
+        if let Some(record) = b.report(id) {
+            self.records.borrow_mut().push(record);
+        }
+    }
+
+    /// Writes the accumulated records as one history file. Failures are
+    /// reported to stderr but never panic (persistence runs in `Drop`).
+    fn persist_history(&self) {
+        let records = self.records.borrow();
+        let (Some(dir), false) = (self.history_dir.as_ref(), records.is_empty()) else {
+            return;
+        };
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let log = BenchRunLog {
+            unix_ms,
+            binary: binary_name(),
+            entries: records.clone(),
+        };
+        let path = dir.join(format!("{:013}-{:06}.json", unix_ms, std::process::id()));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(&path, ssd_types::json::to_string_pretty(&log))
+        };
+        match write() {
+            Ok(()) => eprintln!("bench history -> {}", path.display()),
+            Err(e) => eprintln!("bench history: failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.persist_history();
     }
 }
 
@@ -159,10 +302,11 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, id: &str) {
+    /// Prints the timing summary and returns it as a history record.
+    fn report(&mut self, id: &str) -> Option<BenchRecord> {
         if self.durations.is_empty() {
             eprintln!("{id:<48} (no samples)");
-            return;
+            return None;
         }
         self.durations.sort();
         let n = self.durations.len();
@@ -176,10 +320,18 @@ impl Bencher {
             fmt_duration(median),
             fmt_duration(mean),
         );
+        Some(BenchRecord {
+            id: id.to_string(),
+            samples: n as u64,
+            min_ns: min.as_nanos() as u64,
+            median_ns: median.as_nanos() as u64,
+            mean_ns: mean.as_nanos() as u64,
+        })
     }
 }
 
-fn fmt_duration(d: Duration) -> String {
+/// Renders a duration with an adaptive unit, e.g. `12.00 ms`.
+pub fn fmt_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 1_000 {
         format!("{nanos} ns")
@@ -245,21 +397,98 @@ mod tests {
 
     #[test]
     fn group_ids_compose_and_finish_consumes() {
-        let mut c = Criterion { filter: None, default_sample_size: 2 };
+        let mut c = Criterion::unpersisted(None, 2);
         let mut g = c.benchmark_group("grp");
         g.sample_size(1).bench_function("a", |b| b.iter(|| 1 + 1));
         g.finish();
+        let records = c.records.borrow();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "grp/a");
+        assert_eq!(records[0].samples, 1);
     }
 
     #[test]
     fn filter_skips_nonmatching_ids() {
-        let c = Criterion { filter: Some("nomatch".into()), default_sample_size: 2 };
+        let c = Criterion::unpersisted(Some("nomatch".into()), 2);
         let mut ran = false;
         c.run_one("grp/other", 2, |b| {
             ran = true;
             b.iter(|| 0);
         });
         assert!(!ran);
+        assert!(c.records.borrow().is_empty(), "filtered runs leave no record");
+    }
+
+    #[test]
+    fn records_capture_ordered_stats() {
+        let c = Criterion::unpersisted(None, 3);
+        c.run_one("grp/timed", 3, |b| b.iter(|| std::hint::black_box(17u64.pow(3))));
+        let records = c.records.borrow();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert!(r.min_ns <= r.median_ns, "min {} median {}", r.min_ns, r.median_ns);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn run_log_json_roundtrip() {
+        let log = BenchRunLog {
+            unix_ms: 1_700_000_000_123,
+            binary: "bench_sim".into(),
+            entries: vec![BenchRecord {
+                id: "fleet_generation/parallel".into(),
+                samples: 10,
+                min_ns: 1_000,
+                median_ns: 2_000,
+                mean_ns: 2_100,
+            }],
+        };
+        let s = ssd_types::json::to_string(&log);
+        let back: BenchRunLog = ssd_types::json::from_str(&s).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn history_persists_one_file_per_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "ssd-bench-history-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = Criterion {
+                filter: None,
+                default_sample_size: 1,
+                records: RefCell::new(Vec::new()),
+                history_dir: Some(dir.clone()),
+            };
+            c.run_one("grp/persisted", 1, |b| b.iter(|| 1 + 1));
+        } // drop writes the file
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1);
+        let body = std::fs::read_to_string(files[0].as_ref().unwrap().path()).unwrap();
+        let log: BenchRunLog = ssd_types::json::from_str(&body).unwrap();
+        assert_eq!(log.entries.len(), 1);
+        assert_eq!(log.entries[0].id, "grp/persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_runs_persist_nothing() {
+        let dir = std::env::temp_dir().join(format!(
+            "ssd-bench-history-empty-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let _c = Criterion {
+                filter: Some("matches-nothing".into()),
+                default_sample_size: 1,
+                records: RefCell::new(Vec::new()),
+                history_dir: Some(dir.clone()),
+            };
+        }
+        assert!(!dir.exists(), "no records -> no file, no directory");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 pub mod harness;
 
-pub use harness::{BatchSize, BenchmarkGroup, Bencher, Criterion};
+pub use harness::{
+    bench_history_dir, BatchSize, BenchRecord, BenchRunLog, BenchmarkGroup, Bencher, Criterion,
+};
 
 use ssd_sim::{generate_fleet, SimConfig};
 use ssd_types::FleetTrace;

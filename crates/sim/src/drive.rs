@@ -138,6 +138,39 @@ fn escalation_for(plan: &LifecyclePlan, age: u32) -> Option<Escalation> {
     None
 }
 
+/// Destination for a drive's emitted reports and swap events.
+///
+/// The emission loop ([`emit_into`]) is generic over its sink so the same
+/// monomorphized code — and therefore the exact same RNG consumption —
+/// backs both the owned [`DriveLog`] path and the columnar
+/// [`ReportArena`](crate::ReportArena) path. That shared loop is what
+/// makes the arena archives byte-identical to the baseline by
+/// construction (pinned by `tests/determinism.rs`).
+pub trait ReportSink {
+    /// Hint that up to `additional` more reports are coming.
+    fn reserve(&mut self, _additional: usize) {}
+
+    /// Receive one daily report, in ascending `age_days` order.
+    fn report(&mut self, r: &DailyReport);
+
+    /// Receive one swap event, in ascending `swap_day` order.
+    fn swap(&mut self, s: SwapEvent);
+}
+
+impl ReportSink for DriveLog {
+    fn reserve(&mut self, additional: usize) {
+        self.reports.reserve(additional);
+    }
+
+    fn report(&mut self, r: &DailyReport) {
+        self.reports.push(*r);
+    }
+
+    fn swap(&mut self, s: SwapEvent) {
+        self.swaps.push(s);
+    }
+}
+
 /// Generates the complete log for one drive.
 ///
 /// All randomness derives from `rng`, which callers seed per-drive
@@ -149,9 +182,22 @@ pub fn generate_drive(
     horizon_days: u32,
     rng: &mut SplitMix64,
 ) -> DriveLog {
+    let mut log = DriveLog::new(id, model);
+    generate_drive_into(params, horizon_days, rng, &mut log);
+    log
+}
+
+/// Generates one drive's reports and swaps directly into `sink`,
+/// consuming the same RNG sequence as [`generate_drive`].
+pub fn generate_drive_into<S: ReportSink>(
+    params: &ModelParams,
+    horizon_days: u32,
+    rng: &mut SplitMix64,
+    sink: &mut S,
+) {
     let traits = DriveTraits::sample(params, rng);
     let plan = LifecyclePlan::sample(params, &traits, horizon_days, rng);
-    emit_log(id, model, params, &traits, &plan, rng)
+    emit_into(params, &traits, &plan, rng, sink);
 }
 
 /// Emits the daily log for a drive with known traits and plan (separated
@@ -165,7 +211,20 @@ pub fn emit_log(
     rng: &mut SplitMix64,
 ) -> DriveLog {
     let mut log = DriveLog::new(id, model);
-    log.reports.reserve(plan.horizon_age as usize);
+    emit_into(params, traits, plan, rng, &mut log);
+    log
+}
+
+/// Core emission loop: walks the drive's life day by day and pushes each
+/// observable report (and every swap) into `sink`.
+pub fn emit_into<S: ReportSink>(
+    params: &ModelParams,
+    traits: &DriveTraits,
+    plan: &LifecyclePlan,
+    rng: &mut SplitMix64,
+    sink: &mut S,
+) {
+    sink.reserve(plan.horizon_age as usize);
 
     let mut pe_accum = 0.0f64;
     let mut grown_bad_blocks = 0u32;
@@ -192,7 +251,7 @@ pub fn emit_log(
                 r.grown_bad_blocks = grown_bad_blocks;
                 r.status_dead = dist::bernoulli(rng, 0.7);
                 r.status_read_only = read_only;
-                log.reports.push(r);
+                sink.report(&r);
             }
             Phase::Operational { days_to_failure } => {
                 // Random logging gaps (Figure 1: Data Count < Max Age).
@@ -257,18 +316,17 @@ pub fn emit_log(
                 r.grown_bad_blocks = grown_bad_blocks;
                 r.status_read_only = read_only;
                 r.errors = errors;
-                log.reports.push(r);
+                sink.report(&r);
             }
         }
     }
 
     for f in &plan.failures {
-        log.swaps.push(SwapEvent {
+        sink.swap(SwapEvent {
             swap_day: f.swap_day,
             reentry_day: f.reentry_day,
         });
     }
-    log
 }
 
 #[cfg(test)]

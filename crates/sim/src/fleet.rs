@@ -5,11 +5,13 @@
 //! produced regardless of thread count or generation order (verified by a
 //! determinism test comparing single- and multi-threaded output).
 
+use crate::arena::ReportArena;
 use crate::calibration::ModelParams;
 use crate::config::SimConfig;
-use crate::drive::generate_drive;
+use crate::drive::{generate_drive, generate_drive_into};
 use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
+use ssd_types::codec::{encode_drive_soa, TraceEncoder};
 use ssd_types::{DriveId, DriveModel, FleetTrace};
 
 /// Generates a complete fleet trace in parallel.
@@ -39,6 +41,71 @@ pub fn generate_fleet(config: &SimConfig) -> FleetTrace {
         horizon_days: config.horizon_days,
         drives,
     }
+}
+
+/// Number of worker chunks the archive path splits a fleet into. A pure
+/// function of the drive count — never of the thread count — so the chunk
+/// boundaries (and therefore the assembled bytes) are identical at every
+/// pool size.
+fn archive_chunks(n_drives: u32) -> u32 {
+    n_drives.min(128)
+}
+
+/// Generates a fleet and encodes it straight into the compact binary
+/// archive format, without materializing a [`FleetTrace`].
+///
+/// This is the hot path for paper-scale fleets (30k drives × 6 years):
+/// drives are split into `min(n, 128)` contiguous id ranges, each
+/// worker emits its drives into a reusable [`ReportArena`] and serializes
+/// every drive into a per-chunk byte buffer as soon as it is emitted, and
+/// the chunks are concatenated in id order by a
+/// [`TraceEncoder`]. The output is byte-identical to
+/// `encode_trace(&generate_fleet(config))` — the emission loop and RNG
+/// streams are shared with [`generate_fleet`] — and bit-stable across
+/// thread pool sizes (pinned by `tests/determinism.rs`).
+pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
+    let params: Vec<ModelParams> = DriveModel::ALL
+        .iter()
+        .map(|&m| ModelParams::for_model(m))
+        .collect();
+    let n = config.total_drives();
+    let n_chunks = archive_chunks(n);
+    let chunk_size = if n_chunks == 0 { 0 } else { n.div_ceil(n_chunks) };
+
+    let chunks: Vec<(u64, Vec<u8>)> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            // Trailing chunks collapse to empty ranges when ceil-sized
+            // chunks cover the fleet early (e.g. 180 drives / 128 chunks).
+            let lo = (c * chunk_size).min(n);
+            let hi = (lo + chunk_size).min(n);
+            let mut arena = ReportArena::with_capacity(config.horizon_days as usize);
+            // ~40 encoded bytes per drive-day, matching encode_trace's hint.
+            let mut bytes = Vec::with_capacity(
+                (hi - lo) as usize * config.horizon_days as usize * 40,
+            );
+            for i in lo..hi {
+                let model = DriveModel::from_index((i % 3) as usize);
+                let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
+                arena.clear();
+                generate_drive_into(
+                    &params[model.index()],
+                    config.horizon_days,
+                    &mut rng,
+                    &mut arena,
+                );
+                encode_drive_soa(&mut bytes, DriveId(i), model, arena.columns(), arena.swaps());
+            }
+            (u64::from(hi - lo), bytes)
+        })
+        .collect();
+
+    let total_bytes: usize = chunks.iter().map(|(_, b)| b.len()).sum();
+    let mut enc = TraceEncoder::with_capacity(config.horizon_days, u64::from(n), 64 + total_bytes);
+    for (count, bytes) in &chunks {
+        enc.append_encoded(*count, bytes);
+    }
+    enc.finish()
 }
 
 /// Sequential reference implementation of [`generate_fleet`], used to
@@ -110,6 +177,27 @@ mod tests {
     fn same_seed_is_reproducible() {
         let cfg = tiny();
         assert_eq!(generate_fleet(&cfg), generate_fleet(&cfg));
+    }
+
+    #[test]
+    fn archive_path_matches_encode_of_generated_fleet() {
+        let cfg = tiny();
+        let baseline = ssd_types::codec::encode_trace(&generate_fleet(&cfg));
+        assert_eq!(generate_fleet_archive(&cfg), baseline);
+    }
+
+    #[test]
+    fn archive_path_handles_degenerate_sizes() {
+        for drives_per_model in [0, 1] {
+            let cfg = SimConfig {
+                drives_per_model,
+                horizon_days: 400,
+                seed: 9,
+            };
+            let baseline = ssd_types::codec::encode_trace(&generate_fleet(&cfg));
+            assert_eq!(generate_fleet_archive(&cfg), baseline);
+            assert!(ssd_types::codec::decode_trace(&generate_fleet_archive(&cfg)).is_ok());
+        }
     }
 
     #[test]

@@ -29,6 +29,17 @@
 //! drive_id)`; fleet generation is embarrassingly parallel (rayon) and
 //! bit-identical across thread counts.
 //!
+//! ## Hot path
+//!
+//! [`generate_fleet`] materializes an owned [`ssd_types::FleetTrace`] —
+//! convenient for analysis, but at paper scale (30k drives × 6 years) the
+//! intermediate trace costs gigabytes of array-of-structs reports. When
+//! the goal is an encoded archive, [`generate_fleet_archive`] emits each
+//! drive into a reusable columnar [`ReportArena`] and serializes it
+//! immediately, producing the same bytes as
+//! `encode_trace(&generate_fleet(..))` without the intermediate fleet (see
+//! DESIGN.md §"Simulator internals").
+//!
 //! ```
 //! use ssd_sim::{generate_fleet, SimConfig};
 //!
@@ -43,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod calibration;
 pub mod config;
 pub mod dist;
@@ -52,7 +64,9 @@ pub mod fleet;
 pub mod health;
 pub mod workload;
 
+pub use arena::ReportArena;
 pub use calibration::ModelParams;
 pub use config::SimConfig;
-pub use fleet::{generate_fleet, generate_fleet_sequential};
+pub use drive::{generate_drive_into, ReportSink};
+pub use fleet::{generate_fleet, generate_fleet_archive, generate_fleet_sequential};
 pub use health::{DriveTraits, LifecyclePlan, PlannedFailure};

@@ -17,6 +17,12 @@ use crate::{
 /// Magic bytes + format version prefix.
 const MAGIC: &[u8; 8] = b"SSDFS\0v1";
 
+/// Bit set in the report flags byte when the drive failed (`status_dead`).
+pub const STATUS_DEAD: u8 = 1;
+
+/// Bit set in the report flags byte when the drive latched read-only mode.
+pub const STATUS_READ_ONLY: u8 = 1 << 1;
+
 /// Errors arising during decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -149,15 +155,93 @@ fn decode_report(buf: &mut Reader<'_>) -> Result<DailyReport, DecodeError> {
     })
 }
 
-fn encode_drive(buf: &mut Vec<u8>, d: &DriveLog) {
-    put_varint(buf, u64::from(d.id.0));
-    buf.push(d.model.index() as u8);
-    put_varint(buf, d.reports.len() as u64);
-    for r in &d.reports {
-        encode_report(buf, r);
+/// Borrowed struct-of-arrays view over one drive's daily reports.
+///
+/// Each slice is one column of the report table, all of equal length (one
+/// entry per report day). This is the zero-copy bridge between an arena of
+/// columnar buffers (`ssd_sim::ReportArena`) and the varint codec:
+/// [`encode_drive_soa`] walks the columns row by row and emits bytes
+/// identical to [`encode_trace`] on the equivalent [`DriveLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReportColumns<'a> {
+    /// Report age in days since deployment (`DailyReport::age_days`).
+    pub age_days: &'a [u32],
+    /// Cumulative read operations.
+    pub read_ops: &'a [u64],
+    /// Cumulative write operations.
+    pub write_ops: &'a [u64],
+    /// Cumulative erase operations.
+    pub erase_ops: &'a [u64],
+    /// Cumulative program/erase cycles.
+    pub pe_cycles: &'a [u32],
+    /// Packed status bits ([`STATUS_DEAD`] | [`STATUS_READ_ONLY`]).
+    pub status_flags: &'a [u8],
+    /// Factory bad-block count.
+    pub factory_bad_blocks: &'a [u32],
+    /// Grown (post-deployment) bad-block count.
+    pub grown_bad_blocks: &'a [u32],
+    /// One cumulative column per [`ErrorKind`], in `ErrorKind::ALL` order.
+    pub errors: [&'a [u64]; ErrorKind::COUNT],
+}
+
+impl ReportColumns<'_> {
+    /// Number of report rows. All columns share this length.
+    pub fn len(&self) -> usize {
+        self.age_days.len()
     }
-    put_varint(buf, d.swaps.len() as u64);
-    for s in &d.swaps {
+
+    /// True when the view holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.age_days.is_empty()
+    }
+
+    fn assert_rectangular(&self) {
+        let n = self.age_days.len();
+        debug_assert_eq!(self.read_ops.len(), n);
+        debug_assert_eq!(self.write_ops.len(), n);
+        debug_assert_eq!(self.erase_ops.len(), n);
+        debug_assert_eq!(self.pe_cycles.len(), n);
+        debug_assert_eq!(self.status_flags.len(), n);
+        debug_assert_eq!(self.factory_bad_blocks.len(), n);
+        debug_assert_eq!(self.grown_bad_blocks.len(), n);
+        for col in &self.errors {
+            debug_assert_eq!(col.len(), n);
+        }
+    }
+}
+
+/// Encodes one drive record from a columnar view, byte-identical to the
+/// [`DriveLog`] path for the same data.
+pub fn encode_drive_soa(
+    buf: &mut Vec<u8>,
+    id: DriveId,
+    model: DriveModel,
+    cols: ReportColumns<'_>,
+    swaps: &[SwapEvent],
+) {
+    cols.assert_rectangular();
+    put_varint(buf, u64::from(id.0));
+    buf.push(model.index() as u8);
+    put_varint(buf, cols.len() as u64);
+    for i in 0..cols.len() {
+        put_varint(buf, u64::from(cols.age_days[i]));
+        put_varint(buf, cols.read_ops[i]);
+        put_varint(buf, cols.write_ops[i]);
+        put_varint(buf, cols.erase_ops[i]);
+        put_varint(buf, u64::from(cols.pe_cycles[i]));
+        buf.push(cols.status_flags[i]);
+        put_varint(buf, u64::from(cols.factory_bad_blocks[i]));
+        put_varint(buf, u64::from(cols.grown_bad_blocks[i]));
+        for col in &cols.errors {
+            put_varint(buf, col[i]);
+        }
+    }
+    encode_swaps(buf, swaps);
+}
+
+fn encode_swaps(buf: &mut Vec<u8>, swaps: &[SwapEvent]) {
+    put_varint(buf, swaps.len() as u64);
+    for s in swaps {
         put_varint(buf, u64::from(s.swap_day));
         match s.reentry_day {
             Some(day) => {
@@ -167,6 +251,16 @@ fn encode_drive(buf: &mut Vec<u8>, d: &DriveLog) {
             None => buf.push(0),
         }
     }
+}
+
+fn encode_drive(buf: &mut Vec<u8>, d: &DriveLog) {
+    put_varint(buf, u64::from(d.id.0));
+    buf.push(d.model.index() as u8);
+    put_varint(buf, d.reports.len() as u64);
+    for r in &d.reports {
+        encode_report(buf, r);
+    }
+    encode_swaps(buf, &d.swaps);
 }
 
 fn decode_drive(buf: &mut Reader<'_>) -> Result<DriveLog, DecodeError> {
@@ -203,17 +297,100 @@ fn decode_drive(buf: &mut Reader<'_>) -> Result<DriveLog, DecodeError> {
     })
 }
 
+/// Incremental archive writer: emits the trace header up front, then
+/// appends drive records one at a time without an intermediate
+/// [`FleetTrace`] in memory.
+///
+/// The drive count is part of the header, so it must be declared at
+/// construction; [`finish`](TraceEncoder::finish) panics if the number of
+/// appended drives disagrees, which turns a silently-corrupt archive into
+/// a loud test failure. Drives may arrive from any source — owned logs
+/// ([`append_drive`]), columnar arena views ([`append_columns`]), or
+/// pre-encoded chunks from parallel workers ([`append_encoded`]) — as long
+/// as they are appended in ascending id order (the decoder does not sort).
+///
+/// [`append_drive`]: TraceEncoder::append_drive
+/// [`append_columns`]: TraceEncoder::append_columns
+/// [`append_encoded`]: TraceEncoder::append_encoded
+#[derive(Debug)]
+pub struct TraceEncoder {
+    buf: Vec<u8>,
+    declared: u64,
+    appended: u64,
+}
+
+impl TraceEncoder {
+    /// Starts an archive for `n_drives` drives over `horizon_days`.
+    pub fn new(horizon_days: u32, n_drives: u64) -> Self {
+        TraceEncoder::with_capacity(horizon_days, n_drives, 0)
+    }
+
+    /// Like [`new`](TraceEncoder::new), pre-reserving `bytes_hint` output
+    /// bytes to avoid reallocation on large archives.
+    pub fn with_capacity(horizon_days: u32, n_drives: u64, bytes_hint: usize) -> Self {
+        let mut buf = Vec::with_capacity(bytes_hint.max(64));
+        buf.extend_from_slice(MAGIC);
+        put_varint(&mut buf, u64::from(horizon_days));
+        put_varint(&mut buf, n_drives);
+        TraceEncoder {
+            buf,
+            declared: n_drives,
+            appended: 0,
+        }
+    }
+
+    /// Appends one drive from an owned log.
+    pub fn append_drive(&mut self, d: &DriveLog) {
+        encode_drive(&mut self.buf, d);
+        self.appended += 1;
+    }
+
+    /// Appends one drive from a columnar report view.
+    pub fn append_columns(
+        &mut self,
+        id: DriveId,
+        model: DriveModel,
+        cols: ReportColumns<'_>,
+        swaps: &[SwapEvent],
+    ) {
+        encode_drive_soa(&mut self.buf, id, model, cols, swaps);
+        self.appended += 1;
+    }
+
+    /// Appends `n_drives` drive records already encoded by this module
+    /// (e.g. a chunk produced by a parallel worker).
+    pub fn append_encoded(&mut self, n_drives: u64, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        self.appended += n_drives;
+    }
+
+    /// Finalizes the archive.
+    ///
+    /// # Panics
+    /// If the number of appended drives differs from the count declared at
+    /// construction (the header would not match the body).
+    pub fn finish(self) -> Vec<u8> {
+        assert_eq!(
+            self.appended, self.declared,
+            "TraceEncoder: declared {} drives but appended {}",
+            self.declared, self.appended
+        );
+        self.buf
+    }
+}
+
 /// Encodes a fleet trace into the compact binary format.
 pub fn encode_trace(trace: &FleetTrace) -> Vec<u8> {
     // Rough pre-size: ~40 bytes per report avoids repeated reallocation.
-    let mut buf = Vec::with_capacity(64 + trace.total_drive_days() * 40);
-    buf.extend_from_slice(MAGIC);
-    put_varint(&mut buf, u64::from(trace.horizon_days));
-    put_varint(&mut buf, trace.drives.len() as u64);
+    let mut enc = TraceEncoder::with_capacity(
+        trace.horizon_days,
+        trace.drives.len() as u64,
+        64 + trace.total_drive_days() * 40,
+    );
     for d in &trace.drives {
-        encode_drive(&mut buf, d);
+        enc.append_drive(d);
     }
-    buf
+    enc.finish()
 }
 
 /// Decodes a fleet trace previously produced by [`encode_trace`].
@@ -331,5 +508,119 @@ mod tests {
     fn varint_overflow_is_detected() {
         let mut b = Reader::new(&[0xff; 11]);
         assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
+    }
+
+    /// Columns borrowed from a drive's reports, for SoA-vs-AoS comparison.
+    struct Cols {
+        age_days: Vec<u32>,
+        read_ops: Vec<u64>,
+        write_ops: Vec<u64>,
+        erase_ops: Vec<u64>,
+        pe_cycles: Vec<u32>,
+        status_flags: Vec<u8>,
+        factory_bad_blocks: Vec<u32>,
+        grown_bad_blocks: Vec<u32>,
+        errors: [Vec<u64>; ErrorKind::COUNT],
+    }
+
+    impl Cols {
+        fn from_reports(reports: &[DailyReport]) -> Self {
+            let mut c = Cols {
+                age_days: Vec::new(),
+                read_ops: Vec::new(),
+                write_ops: Vec::new(),
+                erase_ops: Vec::new(),
+                pe_cycles: Vec::new(),
+                status_flags: Vec::new(),
+                factory_bad_blocks: Vec::new(),
+                grown_bad_blocks: Vec::new(),
+                errors: std::array::from_fn(|_| Vec::new()),
+            };
+            for r in reports {
+                c.age_days.push(r.age_days);
+                c.read_ops.push(r.read_ops);
+                c.write_ops.push(r.write_ops);
+                c.erase_ops.push(r.erase_ops);
+                c.pe_cycles.push(r.pe_cycles);
+                c.status_flags.push(
+                    u8::from(r.status_dead) * STATUS_DEAD
+                        | u8::from(r.status_read_only) * STATUS_READ_ONLY,
+                );
+                c.factory_bad_blocks.push(r.factory_bad_blocks);
+                c.grown_bad_blocks.push(r.grown_bad_blocks);
+                for (i, (_, count)) in r.errors.iter().enumerate() {
+                    c.errors[i].push(count);
+                }
+            }
+            c
+        }
+
+        fn view(&self) -> ReportColumns<'_> {
+            ReportColumns {
+                age_days: &self.age_days,
+                read_ops: &self.read_ops,
+                write_ops: &self.write_ops,
+                erase_ops: &self.erase_ops,
+                pe_cycles: &self.pe_cycles,
+                status_flags: &self.status_flags,
+                factory_bad_blocks: &self.factory_bad_blocks,
+                grown_bad_blocks: &self.grown_bad_blocks,
+                errors: std::array::from_fn(|i| self.errors[i].as_slice()),
+            }
+        }
+    }
+
+    #[test]
+    fn soa_encoding_matches_aos_per_drive() {
+        for d in &sample_trace().drives {
+            let mut aos = Vec::new();
+            encode_drive(&mut aos, d);
+            let cols = Cols::from_reports(&d.reports);
+            let mut soa = Vec::new();
+            encode_drive_soa(&mut soa, d.id, d.model, cols.view(), &d.swaps);
+            assert_eq!(aos, soa, "drive {:?}", d.id);
+        }
+    }
+
+    #[test]
+    fn trace_encoder_assembles_identical_archive() {
+        let t = sample_trace();
+        let expected = encode_trace(&t);
+
+        // Mixed append paths: owned log, columnar view, pre-encoded bytes.
+        let mut enc = TraceEncoder::new(t.horizon_days, t.drives.len() as u64);
+        enc.append_drive(&t.drives[0]);
+        let cols = Cols::from_reports(&t.drives[1].reports);
+        enc.append_columns(t.drives[1].id, t.drives[1].model, cols.view(), &t.drives[1].swaps);
+        let mut chunk = Vec::new();
+        encode_drive(&mut chunk, &t.drives[2]);
+        enc.append_encoded(1, &chunk);
+        assert_eq!(enc.finish(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared 3 drives but appended 1")]
+    fn trace_encoder_panics_on_count_mismatch() {
+        let t = sample_trace();
+        let mut enc = TraceEncoder::new(t.horizon_days, 3);
+        enc.append_drive(&t.drives[0]);
+        let _ = enc.finish();
+    }
+
+    #[test]
+    fn status_flag_masks_match_decoder() {
+        let mut r = DailyReport::empty(3);
+        r.status_dead = true;
+        let mut buf = Vec::new();
+        encode_report(&mut buf, &r);
+        let back = decode_report(&mut Reader::new(&buf)).unwrap();
+        assert!(back.status_dead && !back.status_read_only);
+
+        r.status_dead = false;
+        r.status_read_only = true;
+        buf.clear();
+        encode_report(&mut buf, &r);
+        let back = decode_report(&mut Reader::new(&buf)).unwrap();
+        assert!(!back.status_dead && back.status_read_only);
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Diff the two most recent bench-history entries per bench id.
+#
+#   scripts/bench_compare.sh              # all bench ids
+#   scripts/bench_compare.sh paper_scale  # ids containing "paper_scale"
+#
+# History files are written by every `cargo bench` run (see
+# ssd_bench::harness) under target/bench-history/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q --offline -p ssd-bench --bin bench_compare -- "$@"

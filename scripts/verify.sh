@@ -22,6 +22,10 @@ cargo test -q --offline --workspace
 echo "== benches compile (all 12 targets) =="
 cargo bench --no-run --offline --workspace
 
+echo "== bench smoke: bench_sim + history compare =="
+SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_sim
+scripts/bench_compare.sh
+
 echo "== examples compile =="
 cargo build --offline --examples
 

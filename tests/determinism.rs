@@ -4,7 +4,9 @@
 
 use ssd_field_study::core::{build_dataset, ExtractOptions};
 use ssd_field_study::ml::{cross_validate, CvOptions, ForestConfig, Trainer};
-use ssd_field_study::sim::{generate_fleet, generate_fleet_sequential, SimConfig};
+use ssd_field_study::sim::{
+    generate_fleet, generate_fleet_archive, generate_fleet_sequential, SimConfig,
+};
 use ssd_field_study::types::codec::encode_trace;
 
 fn cfg() -> SimConfig {
@@ -37,6 +39,35 @@ fn fleet_generation_is_repeatable_within_and_across_thread_pools() {
         let b = pool.install(|| generate_fleet(&cfg()));
         assert_eq!(a, b, "pool size {n_threads} changed the fleet");
         assert_eq!(a_bytes, encode_trace(&b));
+    }
+}
+
+#[test]
+fn arena_archive_is_byte_identical_to_baseline_at_every_pool_size() {
+    // 50 drives per model, seeded: the arena/SoA emission path must
+    // reproduce the pre-change path (materialize a FleetTrace, then
+    // encode it) bit for bit, at every pool size.
+    let cfg = SimConfig {
+        drives_per_model: 50,
+        horizon_days: 1000,
+        seed: 271828,
+    };
+    let baseline = encode_trace(&generate_fleet_sequential(&cfg));
+    assert_eq!(
+        generate_fleet_archive(&cfg),
+        baseline,
+        "arena path diverged from baseline"
+    );
+    for n_threads in [1, 2, 5] {
+        let pool = ssd_field_study::parallel::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .build()
+            .unwrap();
+        let archived = pool.install(|| generate_fleet_archive(&cfg));
+        assert_eq!(
+            archived, baseline,
+            "pool size {n_threads} changed the arena archive"
+        );
     }
 }
 
