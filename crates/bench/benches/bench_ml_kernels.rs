@@ -3,8 +3,8 @@
 
 use ssd_bench::{criterion_group, criterion_main, Criterion};
 use ssd_ml::{
-    roc_auc, Dataset, ForestConfig, KnnConfig, LinearSvmConfig, LogisticRegressionConfig,
-    MlpConfig, Trainer, TreeConfig,
+    roc_auc, Dataset, ForestConfig, GbdtConfig, KnnConfig, LinearSvmConfig,
+    LogisticRegressionConfig, MlpConfig, Trainer, TreeConfig,
 };
 use ssd_stats::SplitMix64;
 
@@ -37,6 +37,13 @@ fn bench_training(c: &mut Criterion) {
         (
             "forest_50",
             Box::new(ForestConfig {
+                n_trees: 50,
+                ..Default::default()
+            }),
+        ),
+        (
+            "gbdt_50",
+            Box::new(GbdtConfig {
                 n_trees: 50,
                 ..Default::default()
             }),

@@ -39,9 +39,22 @@ impl Dataset {
         Self::new((0..n_features).map(|i| format!("f{i}")).collect())
     }
 
-    /// Appends one row. Panics if the row width mismatches the schema.
+    /// Appends one row. Panics if the row width mismatches the schema or
+    /// if any value is non-finite: NaN has no place in a total order, so a
+    /// single NaN would silently scramble the tree learners' sorted
+    /// feature columns, and ±inf breaks threshold midpoints. Rejecting at
+    /// ingest keeps the invariant checkable in exactly one place.
     pub fn push_row(&mut self, row: &[f32], label: bool, group: u32) {
         assert_eq!(row.len(), self.n_features, "row width mismatch");
+        for (j, &v) in row.iter().enumerate() {
+            assert!(
+                v.is_finite(),
+                "non-finite feature value {v} in column {j} ({}) at row {}: \
+                 clean or clamp features before pushing them",
+                self.feature_names[j],
+                self.labels.len(),
+            );
+        }
         self.features.extend_from_slice(row);
         self.labels.push(label);
         self.groups.push(group);

@@ -9,6 +9,7 @@
 
 use crate::classifier::{Classifier, Trainer};
 use crate::dataset::Dataset;
+use crate::split_kernel::{PresortedDataset, TreeScratch};
 use crate::tree::{DecisionTree, TreeConfig};
 use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
@@ -40,6 +41,25 @@ impl Default for ForestConfig {
     }
 }
 
+impl ForestConfig {
+    /// Panics with a descriptive message if any hyperparameter is
+    /// degenerate (including the nested [`TreeConfig`]). Called by
+    /// [`RandomForest::fit`].
+    pub fn validate(&self) {
+        assert!(
+            self.n_trees >= 1,
+            "ForestConfig.n_trees must be >= 1 (got 0): an empty ensemble cannot predict"
+        );
+        assert!(
+            self.bootstrap_fraction.is_finite() && self.bootstrap_fraction > 0.0,
+            "ForestConfig.bootstrap_fraction must be a finite positive number (got {}): \
+             it scales the per-tree bootstrap sample size",
+            self.bootstrap_fraction
+        );
+        self.tree.validate();
+    }
+}
+
 /// A fitted random forest.
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
@@ -47,9 +67,13 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Fits `n_trees` trees on bootstrap resamples, in parallel.
+    /// Fits `n_trees` trees on bootstrap resamples, in parallel. Each
+    /// worker thread owns one reusable [`TreeScratch`] (pre-sorted column
+    /// buffers) plus a bootstrap-index buffer, so per-tree training does
+    /// not allocate per node — and the fitted forest is still identical
+    /// for every pool size because each tree's seed stream is its own.
     pub fn fit(config: &ForestConfig, data: &Dataset, seed: u64) -> Self {
-        assert!(config.n_trees >= 1);
+        config.validate();
         assert!(data.n_rows() >= 2, "forest needs at least two rows");
         let n = data.n_rows();
         let boot = ((n as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
@@ -58,16 +82,28 @@ impl RandomForest {
             let d = data.n_features();
             tree_cfg.max_features = Some((d as f64).sqrt().ceil() as usize);
         }
+        // Sort every feature column exactly once; each tree derives its
+        // bootstrap's orders from this shared read-only structure.
+        let pre = PresortedDataset::build(data);
         let trees: Vec<DecisionTree> = (0..config.n_trees)
             .into_par_iter()
-            .map(|t| {
-                // Independent stream per tree: bootstrap + feature draws.
-                let mut rng = SplitMix64::for_stream(seed, t as u64);
-                let indices: Vec<usize> = (0..boot)
-                    .map(|_| rng.next_bounded(n as u64) as usize)
-                    .collect();
-                DecisionTree::fit_on(&tree_cfg, data, &indices, rng.next_u64())
-            })
+            .map_init(
+                || (TreeScratch::new(), Vec::with_capacity(boot)),
+                |(scratch, indices), t| {
+                    // Independent stream per tree: bootstrap + feature draws.
+                    let mut rng = SplitMix64::for_stream(seed, t as u64);
+                    indices.clear();
+                    indices.extend((0..boot).map(|_| rng.next_bounded(n as u64) as usize));
+                    DecisionTree::fit_with_presorted(
+                        &tree_cfg,
+                        data,
+                        &pre,
+                        indices,
+                        rng.next_u64(),
+                        scratch,
+                    )
+                },
+            )
             .collect();
         // MDI importances: mean of per-tree raw importances, normalized.
         let d = data.n_features();

@@ -14,6 +14,7 @@
 
 use crate::classifier::{sigmoid, Classifier, Trainer};
 use crate::dataset::Dataset;
+use crate::split_kernel::{scan_feature, NewtonCriterion, PresortedDataset, TreeScratch};
 use ssd_stats::SplitMix64;
 
 /// Hyperparameters for gradient boosting.
@@ -43,6 +44,36 @@ impl Default for GbdtConfig {
     }
 }
 
+impl GbdtConfig {
+    /// Panics with a descriptive message if any hyperparameter is
+    /// degenerate. Called by [`Gbdt::fit`].
+    pub fn validate(&self) {
+        assert!(
+            self.n_trees >= 1,
+            "GbdtConfig.n_trees must be >= 1 (got 0): zero rounds fit nothing"
+        );
+        assert!(
+            self.learning_rate.is_finite() && self.learning_rate > 0.0,
+            "GbdtConfig.learning_rate must be a finite positive number (got {})",
+            self.learning_rate
+        );
+        assert!(
+            self.max_depth >= 1,
+            "GbdtConfig.max_depth must be >= 1 (got 0): depth-0 trees can never split"
+        );
+        assert!(
+            self.min_samples_leaf >= 1,
+            "GbdtConfig.min_samples_leaf must be >= 1 (got 0): empty leaves have no value"
+        );
+        assert!(
+            self.subsample.is_finite() && self.subsample > 0.0 && self.subsample <= 1.0,
+            "GbdtConfig.subsample must be in (0, 1] (got {}): it is the fraction of rows \
+             sampled without replacement per round",
+            self.subsample
+        );
+    }
+}
+
 /// One node of the internal regression tree.
 #[derive(Debug, Clone, Copy)]
 enum RegNode {
@@ -65,48 +96,69 @@ struct RegTree {
 
 const LAMBDA: f64 = 1.0; // L2 on leaf values, as in standard GBDT
 
+/// Grows one regression tree over the pre-sorted column buffers in a
+/// [`TreeScratch`] (`grad`/`hess` gathered per slot). Nodes are segments
+/// `[lo, hi)` of the shared per-feature orders.
 struct RegBuilder<'a> {
-    data: &'a Dataset,
-    grad: &'a [f64],
-    hess: &'a [f64],
+    scratch: &'a mut TreeScratch,
+    n_features: usize,
     max_depth: usize,
     min_leaf: usize,
     nodes: Vec<RegNode>,
-    scratch: Vec<u32>,
 }
 
 impl<'a> RegBuilder<'a> {
-    fn leaf_value(&self, indices: &[u32]) -> f64 {
+    /// Gradient/hessian totals of the node `[lo, hi)`, summed in the
+    /// deterministic (value, slot) order of feature 0's segment.
+    fn node_sums(&self, lo: usize, hi: usize) -> (f64, f64) {
         let (mut g, mut h) = (0.0, 0.0);
-        for &i in indices {
-            g += self.grad[i as usize];
-            h += self.hess[i as usize];
+        for &s in self.scratch.cols.order_segment(0, lo, hi) {
+            g += self.scratch.grad[s as usize];
+            h += self.scratch.hess[s as usize];
         }
-        -g / (h + LAMBDA)
+        (g, h)
     }
 
-    fn build(&mut self, indices: &mut [u32], depth: usize) -> u32 {
-        if depth >= self.max_depth || indices.len() < 2 * self.min_leaf {
-            let value = self.leaf_value(indices);
-            self.nodes.push(RegNode::Leaf { value });
-            return (self.nodes.len() - 1) as u32;
-        }
-        let Some((feature, threshold, split_at)) = self.best_split(indices) else {
-            let value = self.leaf_value(indices);
-            self.nodes.push(RegNode::Leaf { value });
-            return (self.nodes.len() - 1) as u32;
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> u32 {
+        let n = hi - lo;
+        let (g_sum, h_sum) = self.node_sums(lo, hi);
+        let leaf = |nodes: &mut Vec<RegNode>| {
+            nodes.push(RegNode::Leaf { value: -g_sum / (h_sum + LAMBDA) });
+            (nodes.len() - 1) as u32
         };
-        let data = self.data;
-        indices.sort_unstable_by(|&a, &b| {
-            let va = data.row(a as usize)[feature as usize];
-            let vb = data.row(b as usize)[feature as usize];
-            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let (l, r) = indices.split_at_mut(split_at);
+        if depth >= self.max_depth || n < 2 * self.min_leaf {
+            return leaf(&mut self.nodes);
+        }
+        let Some((feature, threshold, split_at)) = self.best_split(lo, hi, g_sum, h_sum)
+        else {
+            return leaf(&mut self.nodes);
+        };
         self.nodes.push(RegNode::Leaf { value: 0.0 });
         let me = (self.nodes.len() - 1) as u32;
-        let left = self.build(l, depth + 1);
-        let right = self.build(r, depth + 1);
+
+        // If both children are leaves by construction, their Newton values
+        // need only the left/right sums, which the winning feature's
+        // (pre-partition) segment already yields — skip the O(n·d)
+        // partition.
+        let child_is_leaf =
+            |n_c: usize| depth + 1 >= self.max_depth || n_c < 2 * self.min_leaf;
+        let (left, right) = if child_is_leaf(split_at) && child_is_leaf(n - split_at) {
+            let (mut gl, mut hl) = (0.0, 0.0);
+            for &s in self.scratch.cols.order_segment(feature, lo, lo + split_at) {
+                gl += self.scratch.grad[s as usize];
+                hl += self.scratch.hess[s as usize];
+            }
+            self.nodes.push(RegNode::Leaf { value: -gl / (hl + LAMBDA) });
+            self.nodes.push(RegNode::Leaf {
+                value: -(g_sum - gl) / ((h_sum - hl) + LAMBDA),
+            });
+            (me + 1, me + 2)
+        } else {
+            self.scratch.apply_split(lo, hi, feature, split_at);
+            let left = self.build(lo, lo + split_at, depth + 1);
+            let right = self.build(lo + split_at, hi, depth + 1);
+            (left, right)
+        };
         self.nodes[me as usize] = RegNode::Split {
             feature,
             threshold,
@@ -117,46 +169,26 @@ impl<'a> RegBuilder<'a> {
     }
 
     /// Best split by gain of the Newton objective:
-    /// `gain = G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`.
-    fn best_split(&mut self, indices: &[u32]) -> Option<(u16, f32, usize)> {
-        let d = self.data.n_features();
-        let n = indices.len();
-        let (mut g_tot, mut h_tot) = (0.0, 0.0);
-        for &i in indices {
-            g_tot += self.grad[i as usize];
-            h_tot += self.hess[i as usize];
-        }
-        let parent = g_tot * g_tot / (h_tot + LAMBDA);
+    /// `gain = G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`,
+    /// scanning each feature's pre-sorted node segment.
+    fn best_split(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        g_tot: f64,
+        h_tot: f64,
+    ) -> Option<(u16, f32, usize)> {
+        let mut crit =
+            NewtonCriterion::new(&self.scratch.grad, &self.scratch.hess, g_tot, h_tot, LAMBDA);
         let mut best: Option<(u16, f32, usize, f64)> = None;
-        for f in 0..d as u16 {
-            let data = self.data;
-            self.scratch.clear();
-            self.scratch.extend_from_slice(indices);
-            self.scratch.sort_unstable_by(|&a, &b| {
-                let va = data.row(a as usize)[f as usize];
-                let vb = data.row(b as usize)[f as usize];
-                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let (mut gl, mut hl) = (0.0, 0.0);
-            for k in 0..n - 1 {
-                let i = self.scratch[k] as usize;
-                gl += self.grad[i];
-                hl += self.hess[i];
-                let v_here = self.data.row(self.scratch[k] as usize)[f as usize];
-                let v_next = self.data.row(self.scratch[k + 1] as usize)[f as usize];
-                if v_here == v_next {
-                    continue;
-                }
-                let n_left = k + 1;
-                if n_left < self.min_leaf || n - n_left < self.min_leaf {
-                    continue;
-                }
-                let gr = g_tot - gl;
-                let hr = h_tot - hl;
-                let gain =
-                    gl * gl / (hl + LAMBDA) + gr * gr / (hr + LAMBDA) - parent;
-                if gain > 1e-12 && best.map_or(true, |b| gain > b.3) {
-                    best = Some((f, v_here + (v_next - v_here) / 2.0, n_left, gain));
+        for f in 0..self.n_features as u16 {
+            let order = self.scratch.cols.order_segment(f, lo, hi);
+            let values = self.scratch.cols.values_of(f);
+            if let Some((threshold, gain, split_at)) =
+                scan_feature(order, values, self.min_leaf, &mut crit)
+            {
+                if best.map_or(true, |b| gain > b.3) {
+                    best = Some((f, threshold, split_at, gain));
                 }
             }
         }
@@ -197,6 +229,7 @@ pub struct Gbdt {
 impl Gbdt {
     /// Fits with logistic loss.
     pub fn fit(config: &GbdtConfig, data: &Dataset, seed: u64) -> Self {
+        config.validate();
         assert!(data.n_rows() >= 2, "GBDT needs at least two rows");
         let (pos, neg) = data.class_counts();
         assert!(pos > 0 && neg > 0, "GBDT needs both classes");
@@ -210,7 +243,13 @@ impl Gbdt {
         let mut trees = Vec::with_capacity(config.n_trees);
         let mut rng = SplitMix64::new(seed);
         let sample_size = ((n as f64) * config.subsample).round().max(2.0) as usize;
-        let mut pool: Vec<u32> = (0..n as u32).collect();
+        let mut pool: Vec<usize> = (0..n).collect();
+        // The feature columns never change across rounds: sort them once
+        // and derive each round's subsample orders from the shared result.
+        let pre = PresortedDataset::build(data);
+        // One scratch serves every boosting round: the column buffers are
+        // recycled, so a round allocates nothing but its node vector.
+        let mut scratch = TreeScratch::new();
 
         for _ in 0..config.n_trees {
             // Logistic gradients: g = p − y, h = p(1 − p).
@@ -225,17 +264,16 @@ impl Gbdt {
                 let j = i + rng.next_bounded((n - i) as u64) as usize;
                 pool.swap(i, j);
             }
-            let mut indices: Vec<u32> = pool[..sample_size.min(n)].to_vec();
+            let indices = &pool[..sample_size.min(n)];
+            scratch.prepare_newton_from(&pre, indices, &grad, &hess);
             let mut builder = RegBuilder {
-                data,
-                grad: &grad,
-                hess: &hess,
+                scratch: &mut scratch,
+                n_features: data.n_features(),
                 max_depth: config.max_depth,
                 min_leaf: config.min_samples_leaf,
                 nodes: Vec::new(),
-                scratch: Vec::with_capacity(indices.len()),
             };
-            builder.build(&mut indices, 0);
+            builder.build(0, indices.len(), 0);
             let tree = RegTree {
                 nodes: builder.nodes,
             };

@@ -32,6 +32,7 @@ pub mod naive_bayes;
 pub mod nn;
 pub mod permutation;
 pub mod split;
+pub mod split_kernel;
 pub mod tree;
 
 pub use calibrate::{expected_calibration_error, Calibrated, PlattScaler};
@@ -48,4 +49,5 @@ pub use linear::{LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegress
 pub use metrics::{average_precision, roc_auc, Confusion, RocCurve, RocPoint};
 pub use nn::{Mlp, MlpConfig};
 pub use split::{downsample_majority, grouped_kfold};
+pub use split_kernel::{PresortedDataset, SplitChoice, TreeScratch};
 pub use tree::{DecisionTree, TreeConfig};

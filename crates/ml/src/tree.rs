@@ -7,6 +7,7 @@
 
 use crate::classifier::{Classifier, Trainer};
 use crate::dataset::Dataset;
+use crate::split_kernel::{gini, scan_feature, GiniCriterion, PresortedDataset, TreeScratch};
 use ssd_stats::SplitMix64;
 
 /// Hyperparameters for CART growth.
@@ -35,6 +36,33 @@ impl Default for TreeConfig {
     }
 }
 
+impl TreeConfig {
+    /// Panics with a descriptive message if any hyperparameter is
+    /// degenerate. Called by every `fit` entry point.
+    pub fn validate(&self) {
+        assert!(
+            self.max_depth >= 1,
+            "TreeConfig.max_depth must be >= 1 (got 0): a depth-0 tree can never split"
+        );
+        assert!(
+            self.min_samples_split >= 2,
+            "TreeConfig.min_samples_split must be >= 2 (got {}): a node needs two samples to split",
+            self.min_samples_split
+        );
+        assert!(
+            self.min_samples_leaf >= 1,
+            "TreeConfig.min_samples_leaf must be >= 1 (got 0): empty leaves have no probability"
+        );
+        if let Some(m) = self.max_features {
+            assert!(
+                m >= 1,
+                "TreeConfig.max_features must be >= 1 when set (got Some(0)): \
+                 no candidate features means no split can ever be found"
+            );
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Node {
     Split {
@@ -55,37 +83,29 @@ pub struct DecisionTree {
     n_features: usize,
 }
 
-/// Gini impurity of a node with `pos` positives out of `n`.
-#[inline]
-fn gini(pos: f64, n: f64) -> f64 {
-    if n <= 0.0 {
-        return 0.0;
-    }
-    let p = pos / n;
-    2.0 * p * (1.0 - p)
-}
-
+/// Grows one tree over the pre-sorted column buffers in a [`TreeScratch`].
+///
+/// Nodes are segments `[lo, hi)` of the shared per-feature orders; the
+/// positive count is threaded down the recursion (computed once at the
+/// root, split counts derived during partitioning) so no node ever
+/// re-counts labels.
 struct Builder<'a> {
-    data: &'a Dataset,
     config: &'a TreeConfig,
+    scratch: &'a mut TreeScratch,
+    n_features: usize,
     nodes: Vec<Node>,
     importances: Vec<f64>,
     n_total: f64,
     rng: SplitMix64,
-    /// Scratch for per-feature sorted index order.
-    scratch: Vec<u32>,
     /// Scratch for feature subsampling.
     feature_pool: Vec<u16>,
 }
 
 impl<'a> Builder<'a> {
-    /// Recursively grows the subtree over `indices`; returns its node id.
-    fn build(&mut self, indices: &mut [u32], depth: usize) -> u32 {
-        let n = indices.len();
-        let pos = indices
-            .iter()
-            .filter(|&&i| self.data.label(i as usize))
-            .count();
+    /// Recursively grows the subtree over slots `[lo, hi)` holding `pos`
+    /// positives; returns its node id.
+    fn build(&mut self, lo: usize, hi: usize, pos: usize, depth: usize) -> u32 {
+        let n = hi - lo;
         let node_impurity = gini(pos as f64, n as f64);
 
         let make_leaf = |nodes: &mut Vec<Node>| {
@@ -103,7 +123,7 @@ impl<'a> Builder<'a> {
         }
 
         let Some((feature, threshold, gain, split_at)) =
-            self.best_split(indices, node_impurity)
+            self.best_split(lo, hi, pos, node_impurity)
         else {
             return make_leaf(&mut self.nodes);
         };
@@ -111,20 +131,41 @@ impl<'a> Builder<'a> {
         // Accumulate MDI: impurity decrease weighted by node mass.
         self.importances[feature as usize] += gain * n as f64 / self.n_total;
 
-        // Partition indices in place around the chosen threshold.
-        let data = self.data;
-        indices.sort_unstable_by(|&a, &b| {
-            let va = data.row(a as usize)[feature as usize];
-            let vb = data.row(b as usize)[feature as usize];
-            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let (left_idx, right_idx) = indices.split_at_mut(split_at);
+        // The winning feature's first `split_at` slots are the left child;
+        // count its positives here so neither child re-counts labels.
+        let pos_left = self
+            .scratch
+            .cols
+            .order_segment(feature, lo, lo + split_at)
+            .iter()
+            .filter(|&&s| self.scratch.labels[s as usize])
+            .count();
+        let (n_left, n_right) = (split_at, n - split_at);
+        let pos_right = pos - pos_left;
 
         // Reserve this node's slot before building children (pre-order ids).
         self.nodes.push(Node::Leaf { prob: 0.0 });
         let me = (self.nodes.len() - 1) as u32;
-        let left = self.build(left_idx, depth + 1);
-        let right = self.build(right_idx, depth + 1);
+
+        // If both children are leaves by construction, their probabilities
+        // need only the counts just derived — skip the O(n·d) partition.
+        let is_leaf = |n_c: usize, pos_c: usize| {
+            depth + 1 >= self.config.max_depth
+                || n_c < self.config.min_samples_split
+                || pos_c == 0
+                || pos_c == n_c
+        };
+        let (left, right) = if is_leaf(n_left, pos_left) && is_leaf(n_right, pos_right) {
+            self.nodes.push(Node::Leaf { prob: pos_left as f32 / n_left as f32 });
+            self.nodes.push(Node::Leaf { prob: pos_right as f32 / n_right as f32 });
+            ((me + 1), (me + 2))
+        } else {
+            // One stable O(n·d) pass re-segments every feature order.
+            self.scratch.apply_split(lo, hi, feature, split_at);
+            let left = self.build(lo, lo + split_at, pos_left, depth + 1);
+            let right = self.build(lo + split_at, hi, pos_right, depth + 1);
+            (left, right)
+        };
         self.nodes[me as usize] = Node::Split {
             feature,
             threshold,
@@ -135,18 +176,17 @@ impl<'a> Builder<'a> {
     }
 
     /// Finds the best (feature, threshold) over the configured feature
-    /// subset. Returns `(feature, threshold, impurity_gain, left_count)`.
+    /// subset by scanning each candidate's pre-sorted node segment.
+    /// Returns `(feature, threshold, impurity_gain, left_count)`.
     fn best_split(
         &mut self,
-        indices: &[u32],
+        lo: usize,
+        hi: usize,
+        n_pos: usize,
         node_impurity: f64,
     ) -> Option<(u16, f32, f64, usize)> {
-        let d = self.data.n_features();
-        let n = indices.len();
-        let n_pos_total = indices
-            .iter()
-            .filter(|&&i| self.data.label(i as usize))
-            .count() as f64;
+        let d = self.n_features;
+        let n = hi - lo;
 
         // Choose candidate features: all, or a fresh random subset.
         self.feature_pool.clear();
@@ -159,41 +199,19 @@ impl<'a> Builder<'a> {
             }
         }
 
+        let mut crit = GiniCriterion::new(&self.scratch.labels, n, n_pos, node_impurity);
         let mut best: Option<(u16, f32, f64, usize)> = None;
         let min_leaf = self.config.min_samples_leaf;
 
         for ci in 0..n_candidates {
             let f = self.feature_pool[ci];
-            let data = self.data;
-            self.scratch.clear();
-            self.scratch.extend_from_slice(indices);
-            self.scratch.sort_unstable_by(|&a, &b| {
-                let va = data.row(a as usize)[f as usize];
-                let vb = data.row(b as usize)[f as usize];
-                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let mut pos_left = 0.0f64;
-            for k in 0..n - 1 {
-                if self.data.label(self.scratch[k] as usize) {
-                    pos_left += 1.0;
-                }
-                let v_here = self.data.row(self.scratch[k] as usize)[f as usize];
-                let v_next = self.data.row(self.scratch[k + 1] as usize)[f as usize];
-                if v_here == v_next {
-                    continue; // can only split between distinct values
-                }
-                let n_left = (k + 1) as f64;
-                let n_right = n as f64 - n_left;
-                if (n_left as usize) < min_leaf || (n_right as usize) < min_leaf {
-                    continue;
-                }
-                let imp_left = gini(pos_left, n_left);
-                let imp_right = gini(n_pos_total - pos_left, n_right);
-                let weighted = (n_left * imp_left + n_right * imp_right) / n as f64;
-                let gain = node_impurity - weighted;
-                if gain > 1e-12 && best.map_or(true, |b| gain > b.2) {
-                    let threshold = v_here + (v_next - v_here) / 2.0;
-                    best = Some((f, threshold, gain, k + 1));
+            let order = self.scratch.cols.order_segment(f, lo, hi);
+            let values = self.scratch.cols.values_of(f);
+            if let Some((threshold, gain, split_at)) =
+                scan_feature(order, values, min_leaf, &mut crit)
+            {
+                if best.map_or(true, |b| gain > b.2) {
+                    best = Some((f, threshold, gain, split_at));
                 }
             }
         }
@@ -206,19 +224,63 @@ impl DecisionTree {
     /// `0..n_rows` for the full set; random forests pass bootstrap draws).
     /// `seed` drives feature subsampling when `max_features` is set.
     pub fn fit_on(config: &TreeConfig, data: &Dataset, indices: &[usize], seed: u64) -> Self {
+        let mut scratch = TreeScratch::new();
+        Self::fit_on_with_scratch(config, data, indices, seed, &mut scratch)
+    }
+
+    /// [`fit_on`](Self::fit_on) with caller-provided scratch, so repeated
+    /// fits (forest workers, boosting rounds) reuse the column buffers
+    /// instead of allocating per tree.
+    pub fn fit_on_with_scratch(
+        config: &TreeConfig,
+        data: &Dataset,
+        indices: &[usize],
+        seed: u64,
+        scratch: &mut TreeScratch,
+    ) -> Self {
+        config.validate();
         assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
-        let mut idx: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+        let n_pos = scratch.prepare_gini(data, indices);
+        Self::grow(config, data, indices, seed, scratch, n_pos)
+    }
+
+    /// The ensemble path: like
+    /// [`fit_on_with_scratch`](Self::fit_on_with_scratch), but the per-slot
+    /// sorted orders are derived from a shared [`PresortedDataset`] built
+    /// once per forest, so no per-tree sorting happens at all.
+    pub fn fit_with_presorted(
+        config: &TreeConfig,
+        data: &Dataset,
+        pre: &PresortedDataset,
+        indices: &[usize],
+        seed: u64,
+        scratch: &mut TreeScratch,
+    ) -> Self {
+        config.validate();
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let n_pos = scratch.prepare_gini_from(pre, data, indices);
+        Self::grow(config, data, indices, seed, scratch, n_pos)
+    }
+
+    fn grow(
+        config: &TreeConfig,
+        data: &Dataset,
+        indices: &[usize],
+        seed: u64,
+        scratch: &mut TreeScratch,
+        n_pos: usize,
+    ) -> Self {
         let mut b = Builder {
-            data,
             config,
+            scratch,
+            n_features: data.n_features(),
             nodes: Vec::new(),
             importances: vec![0.0; data.n_features()],
-            n_total: idx.len() as f64,
+            n_total: indices.len() as f64,
             rng: SplitMix64::new(seed),
-            scratch: Vec::with_capacity(idx.len()),
             feature_pool: Vec::with_capacity(data.n_features()),
         };
-        b.build(&mut idx, 0);
+        b.build(0, indices.len(), n_pos, 0);
         DecisionTree {
             nodes: b.nodes,
             importances: b.importances,

@@ -1,0 +1,162 @@
+//! Golden-prediction pins for the tree-family learners.
+//!
+//! The exact scores of `DecisionTree`, `RandomForest`, and `Gbdt` on fixed
+//! seeds were captured from the per-node-sorting implementation that
+//! predates the pre-sorted column kernel (with the threshold-rounding
+//! clamp already applied, since that bugfix intentionally moves thresholds
+//! that used to round up onto `v_next`). The rewrite must reproduce them
+//! bit-for-bit: same candidate thresholds, same tie handling, same seeded
+//! feature draws.
+//!
+//! Regenerate the constants with
+//! `SSD_GOLDEN_PRINT=1 cargo test -p ssd-ml --test goldens -- --nocapture`
+//! — but only after convincing yourself the change is *supposed* to move
+//! predictions.
+
+use ssd_ml::{Classifier, Dataset, ForestConfig, Gbdt, GbdtConfig, RandomForest};
+use ssd_ml::{DecisionTree, TreeConfig};
+use ssd_stats::SplitMix64;
+
+/// Deterministic nonlinear train set: 400 rows, 8 features.
+fn golden_data() -> Dataset {
+    let mut rng = SplitMix64::new(0xD1CE);
+    let mut d = Dataset::with_dims(8);
+    let mut row = vec![0f32; 8];
+    for i in 0..400 {
+        for v in row.iter_mut() {
+            *v = rng.next_f64() as f32;
+        }
+        // Nonlinear boundary with ties: quantize two columns to 4 levels.
+        row[2] = (row[2] * 4.0).floor() / 4.0;
+        row[5] = (row[5] * 4.0).floor() / 4.0;
+        let label = (row[0] > 0.5) != (row[2] >= 0.5) || row[7] > 0.9;
+        d.push_row(&row, label, i as u32);
+    }
+    d
+}
+
+/// Ten probe rows drawn from the same distribution (different stream).
+fn probe_rows() -> Vec<Vec<f32>> {
+    let mut rng = SplitMix64::new(0xBEEF);
+    (0..10)
+        .map(|_| (0..8).map(|_| rng.next_f64() as f32).collect())
+        .collect()
+}
+
+fn check(name: &str, got: &[f64], want_bits: &[u64]) {
+    if std::env::var("SSD_GOLDEN_PRINT").is_ok() {
+        let bits: Vec<String> = got.iter().map(|p| format!("0x{:016X}", p.to_bits())).collect();
+        println!("{name}: [\n    {},\n]", bits.join(",\n    "));
+        return;
+    }
+    assert_eq!(got.len(), want_bits.len());
+    for (i, (&p, &w)) in got.iter().zip(want_bits).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            w,
+            "{name}[{i}]: got {p} (0x{:016X}), want {} (0x{w:016X})",
+            p.to_bits(),
+            f64::from_bits(w),
+        );
+    }
+}
+
+#[test]
+fn decision_tree_scores_are_pinned() {
+    let data = golden_data();
+    let model = DecisionTree::fit(&TreeConfig::default(), &data, 0);
+    let got: Vec<f64> = probe_rows().iter().map(|r| model.predict_proba(r)).collect();
+    check("tree", &got, &TREE_GOLDEN);
+}
+
+#[test]
+fn random_forest_scores_are_pinned() {
+    let data = golden_data();
+    let cfg = ForestConfig {
+        n_trees: 15,
+        ..Default::default()
+    };
+    let model = RandomForest::fit(&cfg, &data, 7);
+    let got: Vec<f64> = probe_rows().iter().map(|r| model.predict_proba(r)).collect();
+    check("forest", &got, &FOREST_GOLDEN);
+}
+
+#[test]
+fn gbdt_scores_are_pinned() {
+    let data = golden_data();
+    let cfg = GbdtConfig {
+        n_trees: 30,
+        ..Default::default()
+    };
+    let model = Gbdt::fit(&cfg, &data, 3);
+    let got: Vec<f64> = probe_rows().iter().map(|r| model.predict_proba(r)).collect();
+    check("gbdt", &got, &GBDT_GOLDEN);
+    // The kernel rewrite moved gradient/hessian accumulation to the
+    // deterministic sorted-scan order; float addition is not associative,
+    // so leaf values drifted a few ulps from the per-node-sorting
+    // implementation. Same trees, same splits: pin that the drift against
+    // the pre-rewrite scores stays in rounding noise.
+    for (i, (&p, &w)) in got.iter().zip(&GBDT_PRE_REWRITE).enumerate() {
+        let want = f64::from_bits(w);
+        assert!(
+            (p - want).abs() <= 1e-12,
+            "gbdt[{i}] drifted beyond rounding noise: {p} vs pre-rewrite {want}"
+        );
+    }
+}
+
+const TREE_GOLDEN: [u64; 10] = [
+    0x3FD24924A0000000,
+    0x3FF0000000000000,
+    0x3FF0000000000000,
+    0x3FD5555560000000,
+    0x0000000000000000,
+    0x3FD24924A0000000,
+    0x3FF0000000000000,
+    0x3FD5555560000000,
+    0x0000000000000000,
+    0x3FE99999A0000000,
+];
+
+const FOREST_GOLDEN: [u64; 10] = [
+    0x3FD3333333333333,
+    0x3FEC2464B0000000,
+    0x3FD230815BBBBBBC,
+    0x3FE3E93E94444444,
+    0x3FDEA2426AAAAAAB,
+    0x3FDAE147AEEEEEEF,
+    0x3FEE52E52EEEEEEF,
+    0x3FCDDDDDDDDDDDDE,
+    0x3FE493A182222222,
+    0x3FE6666666666666,
+];
+
+const GBDT_GOLDEN: [u64; 10] = [
+    0x3FD7FF1A43CE0C27,
+    0x3FE829DE7F85C18C,
+    0x3FDD4AFACA20574C,
+    0x3FE1B449811CA9CC,
+    0x3FE0A29DA10811EE,
+    0x3FDCB51F34782B4C,
+    0x3FE47289B24700FC,
+    0x3FD8E50A0089E3D7,
+    0x3FD5206C57224A82,
+    0x3FE061705E366612,
+];
+
+/// GBDT scores captured from the per-node-sorting implementation (with
+/// the threshold clamp), kept to pin that the kernel rewrite only moved
+/// predictions by float-summation-order rounding (≤ 4 ulps), never by a
+/// different split.
+const GBDT_PRE_REWRITE: [u64; 10] = [
+    0x3FD7FF1A43CE0C27,
+    0x3FE829DE7F85C18C,
+    0x3FDD4AFACA205750,
+    0x3FE1B449811CA9CD,
+    0x3FE0A29DA10811EE,
+    0x3FDCB51F34782B4C,
+    0x3FE47289B24700FC,
+    0x3FD8E50A0089E3D7,
+    0x3FD5206C57224A82,
+    0x3FE061705E366613,
+];

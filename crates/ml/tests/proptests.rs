@@ -1,9 +1,13 @@
 //! Property-based tests for the ML substrate: metric identities, split
 //! invariants, and classifier output contracts.
 
+use ssd_ml::split_kernel::{
+    presorted_best_split_gini, presorted_best_split_newton, reference_best_split_gini,
+    reference_best_split_newton,
+};
 use ssd_ml::{
     downsample_majority, grouped_kfold, roc_auc, Classifier, Confusion, Dataset, DecisionTree,
-    RocCurve, TreeConfig,
+    ForestConfig, RandomForest, RocCurve, TreeConfig,
 };
 use ssd_testkit::{assume, for_each_case, for_each_case_filtered, CaseResult, Gen};
 
@@ -130,6 +134,117 @@ fn downsampling_keeps_all_positives_and_ratio() {
         let want = ((n_pos as f64) * ratio).round() as usize;
         assert!(kept_neg == want.min(n_neg), "{} vs {}", kept_neg, want.min(n_neg));
     });
+}
+
+/// Random dataset for kernel-equivalence checks: up to 4 features, each
+/// column independently either continuous or quantized to very few levels
+/// (heavy ties are where boundary-handling bugs live), plus
+/// bootstrap-style index lists with duplicate rows.
+fn kernel_case(g: &mut Gen) -> (Dataset, Vec<usize>) {
+    let n = g.usize_in(6, 60);
+    let d = g.usize_in(1, 4);
+    // Per-column quantization: 0 = continuous, else k discrete levels.
+    let levels: Vec<usize> = (0..d).map(|_| if g.bool() { g.usize_in(1, 4) } else { 0 }).collect();
+    let mut data = Dataset::with_dims(d);
+    let mut row = vec![0f32; d];
+    for i in 0..n {
+        for (v, &lv) in row.iter_mut().zip(&levels) {
+            let x = g.f64_unit();
+            *v = if lv == 0 { x as f32 } else { ((x * lv as f64).floor() / lv as f64) as f32 };
+        }
+        data.push_row(&row, g.bool(), i as u32);
+    }
+    // Half the cases fit on a bootstrap-style resample (duplicates!).
+    let indices: Vec<usize> = if g.bool() {
+        (0..n).map(|_| g.usize_in(0, n - 1)).collect()
+    } else {
+        (0..n).collect()
+    };
+    (data, indices)
+}
+
+#[test]
+fn presorted_gini_split_matches_naive_reference() {
+    for_each_case("presorted_gini_split_matches_naive_reference", 512, |g| {
+        let (data, indices) = kernel_case(g);
+        let min_leaf = g.usize_in(1, 4);
+        let want = reference_best_split_gini(&data, &indices, min_leaf);
+        let got = presorted_best_split_gini(&data, &indices, min_leaf);
+        match (&want, &got) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.feature, b.feature, "feature: {a:?} vs {b:?}");
+                assert_eq!(a.threshold.to_bits(), b.threshold.to_bits(), "{a:?} vs {b:?}");
+                assert_eq!(a.split_at, b.split_at, "{a:?} vs {b:?}");
+                // Both paths evaluate the identical count arithmetic.
+                assert_eq!(a.gain.to_bits(), b.gain.to_bits(), "{a:?} vs {b:?}");
+            }
+            _ => panic!("split disagreement: reference {want:?}, presorted {got:?}"),
+        }
+    });
+}
+
+#[test]
+fn presorted_newton_split_matches_naive_reference() {
+    for_each_case("presorted_newton_split_matches_naive_reference", 512, |g| {
+        let (data, indices) = kernel_case(g);
+        let min_leaf = g.usize_in(1, 4);
+        // Per-slot gradient/hessian stats as the GBDT would gather them.
+        let grad: Vec<f64> = (0..indices.len()).map(|_| g.f64_in(-1.0, 1.0)).collect();
+        let hess: Vec<f64> = (0..indices.len()).map(|_| g.f64_in(1e-6, 0.25)).collect();
+        let want = reference_best_split_newton(&data, &indices, &grad, &hess, 1.0, min_leaf);
+        let got = presorted_best_split_newton(&data, &indices, &grad, &hess, 1.0, min_leaf);
+        match (&want, &got) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.feature, b.feature, "feature: {a:?} vs {b:?}");
+                assert_eq!(a.threshold.to_bits(), b.threshold.to_bits(), "{a:?} vs {b:?}");
+                assert_eq!(a.split_at, b.split_at, "{a:?} vs {b:?}");
+                // Both scans accumulate in the same (value, slot) order, so
+                // even the float sums agree bit-for-bit.
+                assert_eq!(a.gain.to_bits(), b.gain.to_bits(), "{a:?} vs {b:?}");
+            }
+            _ => panic!("split disagreement: reference {want:?}, presorted {got:?}"),
+        }
+    });
+}
+
+#[test]
+fn forest_predictions_identical_across_pool_sizes() {
+    // Per-worker scratch reuse must not leak state between trees: the
+    // fitted forest is a function of (config, data, seed) only, never of
+    // how trees were packed onto workers.
+    let mut rng = ssd_stats::SplitMix64::new(0xF0_4E57);
+    let mut d = Dataset::with_dims(3);
+    let mut row = vec![0f32; 3];
+    for i in 0..250 {
+        for v in row.iter_mut() {
+            *v = rng.next_f64() as f32;
+        }
+        row[1] = (row[1] * 3.0).floor() / 3.0; // ties
+        d.push_row(&row, row[0] + row[1] > 1.0, i as u32);
+    }
+    let cfg = ForestConfig {
+        n_trees: 12,
+        ..Default::default()
+    };
+    let fit_and_score = |threads: usize| {
+        ssd_parallel::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let m = RandomForest::fit(&cfg, &d, 11);
+                (m.predict_batch(&d), m.feature_importances().to_vec())
+            })
+    };
+    let (scores_1, imp_1) = fit_and_score(1);
+    for threads in [2, 5] {
+        let (scores, imp) = fit_and_score(threads);
+        let same = scores.iter().zip(&scores_1).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "pool size {threads} changed forest predictions");
+        assert_eq!(imp, imp_1, "pool size {threads} changed importances");
+    }
 }
 
 #[test]

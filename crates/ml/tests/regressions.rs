@@ -1,0 +1,293 @@
+//! Regression tests for the split-finder bugfix sweep that shipped with
+//! the pre-sorted column kernel:
+//!
+//! 1. threshold rounding clamp — midpoints of adjacent f32 values used to
+//!    round up onto the right child's value, sending it left at predict
+//!    time;
+//! 2. non-finite feature rejection at `Dataset::push_row` (NaN broke the
+//!    sorted-column total order silently);
+//! 3. positive-count passdown — children derive their label counts from
+//!    the parent's partition instead of re-counting (a fully-grown tree
+//!    must still produce exactly-pure leaves);
+//! 4. `validate()` on every config, with a descriptive panic per
+//!    degenerate hyperparameter.
+
+use ssd_ml::{Classifier, Dataset, ForestConfig, Gbdt, GbdtConfig, RandomForest};
+use ssd_ml::{DecisionTree, TreeConfig};
+use ssd_stats::SplitMix64;
+
+// ---------------------------------------------------------------------
+// 1. Threshold rounding clamp: `v_lo <= threshold < v_hi` even when the
+//    two split values are adjacent floats and the midpoint rounds up.
+// ---------------------------------------------------------------------
+
+/// Adjacent f32 values whose exact midpoint rounds (ties-to-even) to the
+/// *upper* value: 1.0 + 1ulp and 1.0 + 2ulp.
+fn adjacent_pair() -> (f32, f32) {
+    let v_lo = f32::from_bits(0x3F80_0001);
+    let v_hi = f32::from_bits(0x3F80_0002);
+    assert_eq!(v_hi, f32::from_bits(v_lo.to_bits() + 1));
+    (v_lo, v_hi)
+}
+
+/// 10 rows at `v_lo` labelled false, 10 rows at `v_hi` labelled true.
+fn adjacent_data() -> (Dataset, f32, f32) {
+    let (v_lo, v_hi) = adjacent_pair();
+    let mut d = Dataset::with_dims(1);
+    for i in 0..10 {
+        d.push_row(&[v_lo], false, i);
+        d.push_row(&[v_hi], true, 10 + i);
+    }
+    (d, v_lo, v_hi)
+}
+
+#[test]
+fn tree_threshold_separates_adjacent_floats() {
+    let (d, v_lo, v_hi) = adjacent_data();
+    let m = DecisionTree::fit(
+        &TreeConfig {
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            ..Default::default()
+        },
+        &d,
+        0,
+    );
+    // Before the clamp, the learned threshold equalled v_hi, so the
+    // `row <= threshold` predicate sent v_hi rows into the all-false left
+    // leaf. Both rows must land in their own pure leaf.
+    assert_eq!(m.predict_proba(&[v_lo]), 0.0, "v_lo must go left");
+    assert_eq!(m.predict_proba(&[v_hi]), 1.0, "v_hi must go right");
+}
+
+#[test]
+fn gbdt_threshold_separates_adjacent_floats() {
+    let (d, v_lo, v_hi) = adjacent_data();
+    let m = Gbdt::fit(
+        &GbdtConfig {
+            n_trees: 25,
+            max_depth: 2,
+            min_samples_leaf: 1,
+            subsample: 1.0,
+            ..Default::default()
+        },
+        &d,
+        0,
+    );
+    // An unclamped threshold collapses both values into the left child of
+    // every tree, leaving both predictions at the 50% prior.
+    let p_lo = m.predict_proba(&[v_lo]);
+    let p_hi = m.predict_proba(&[v_hi]);
+    assert!(p_lo < 0.2, "v_lo scored {p_lo}, expected near 0");
+    assert!(p_hi > 0.8, "v_hi scored {p_hi}, expected near 1");
+}
+
+// ---------------------------------------------------------------------
+// 2. Non-finite features are rejected at ingest.
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "non-finite feature value")]
+fn push_row_rejects_nan() {
+    let mut d = Dataset::with_dims(2);
+    d.push_row(&[1.0, f32::NAN], true, 0);
+}
+
+#[test]
+#[should_panic(expected = "non-finite feature value")]
+fn push_row_rejects_infinity() {
+    let mut d = Dataset::with_dims(2);
+    d.push_row(&[f32::INFINITY, 1.0], true, 0);
+}
+
+#[test]
+#[should_panic(expected = "non-finite feature value")]
+fn push_row_rejects_negative_infinity() {
+    let mut d = Dataset::with_dims(1);
+    d.push_row(&[f32::NEG_INFINITY], false, 0);
+}
+
+// ---------------------------------------------------------------------
+// 3. Positive-count passdown: a fully-grown tree on distinct feature
+//    values must reproduce every training label exactly. If a child's
+//    positive count drifted from its true partition count, some "pure"
+//    leaf would carry a fractional probability.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fully_grown_tree_has_exactly_pure_leaves() {
+    let mut rng = SplitMix64::new(0xC0DE);
+    let mut d = Dataset::with_dims(1);
+    for i in 0..64 {
+        // Distinct values, labels decoupled from feature order.
+        d.push_row(&[i as f32], rng.next_u64() & 1 == 1, i as u32);
+    }
+    let (pos, neg) = d.class_counts();
+    assert!(pos > 0 && neg > 0, "labels degenerate for this seed");
+    let m = DecisionTree::fit(
+        &TreeConfig {
+            max_depth: 64,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        },
+        &d,
+        0,
+    );
+    for i in 0..d.n_rows() {
+        let p = m.predict_proba(d.row(i));
+        let want = f64::from(u8::from(d.label(i)));
+        assert_eq!(p, want, "row {i}: leaf probability {p}, label {want}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Config validation: each degenerate hyperparameter dies with its own
+//    descriptive message, from the public fit entry points.
+// ---------------------------------------------------------------------
+
+fn two_class_data() -> Dataset {
+    let mut d = Dataset::with_dims(1);
+    for i in 0..8 {
+        d.push_row(&[i as f32], i >= 4, i as u32);
+    }
+    d
+}
+
+#[test]
+#[should_panic(expected = "TreeConfig.max_depth must be >= 1")]
+fn tree_rejects_zero_depth() {
+    let cfg = TreeConfig {
+        max_depth: 0,
+        ..Default::default()
+    };
+    DecisionTree::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "TreeConfig.min_samples_split must be >= 2")]
+fn tree_rejects_min_samples_split_below_two() {
+    let cfg = TreeConfig {
+        min_samples_split: 1,
+        ..Default::default()
+    };
+    DecisionTree::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "TreeConfig.min_samples_leaf must be >= 1")]
+fn tree_rejects_zero_min_samples_leaf() {
+    let cfg = TreeConfig {
+        min_samples_leaf: 0,
+        ..Default::default()
+    };
+    DecisionTree::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "TreeConfig.max_features must be >= 1 when set")]
+fn tree_rejects_zero_max_features() {
+    let cfg = TreeConfig {
+        max_features: Some(0),
+        ..Default::default()
+    };
+    DecisionTree::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "ForestConfig.n_trees must be >= 1")]
+fn forest_rejects_zero_trees() {
+    let cfg = ForestConfig {
+        n_trees: 0,
+        ..Default::default()
+    };
+    RandomForest::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "ForestConfig.bootstrap_fraction must be a finite positive number")]
+fn forest_rejects_zero_bootstrap_fraction() {
+    let cfg = ForestConfig {
+        bootstrap_fraction: 0.0,
+        ..Default::default()
+    };
+    RandomForest::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "ForestConfig.bootstrap_fraction must be a finite positive number")]
+fn forest_rejects_nan_bootstrap_fraction() {
+    let cfg = ForestConfig {
+        bootstrap_fraction: f64::NAN,
+        ..Default::default()
+    };
+    RandomForest::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "TreeConfig.max_depth must be >= 1")]
+fn forest_validates_nested_tree_config() {
+    let mut cfg = ForestConfig::default();
+    cfg.tree.max_depth = 0;
+    RandomForest::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "GbdtConfig.n_trees must be >= 1")]
+fn gbdt_rejects_zero_trees() {
+    let cfg = GbdtConfig {
+        n_trees: 0,
+        ..Default::default()
+    };
+    Gbdt::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "GbdtConfig.learning_rate must be a finite positive number")]
+fn gbdt_rejects_zero_learning_rate() {
+    let cfg = GbdtConfig {
+        learning_rate: 0.0,
+        ..Default::default()
+    };
+    Gbdt::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "GbdtConfig.max_depth must be >= 1")]
+fn gbdt_rejects_zero_depth() {
+    let cfg = GbdtConfig {
+        max_depth: 0,
+        ..Default::default()
+    };
+    Gbdt::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "GbdtConfig.min_samples_leaf must be >= 1")]
+fn gbdt_rejects_zero_min_samples_leaf() {
+    let cfg = GbdtConfig {
+        min_samples_leaf: 0,
+        ..Default::default()
+    };
+    Gbdt::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "GbdtConfig.subsample must be in (0, 1]")]
+fn gbdt_rejects_zero_subsample() {
+    let cfg = GbdtConfig {
+        subsample: 0.0,
+        ..Default::default()
+    };
+    Gbdt::fit(&cfg, &two_class_data(), 0);
+}
+
+#[test]
+#[should_panic(expected = "GbdtConfig.subsample must be in (0, 1]")]
+fn gbdt_rejects_subsample_above_one() {
+    let cfg = GbdtConfig {
+        subsample: 1.5,
+        ..Default::default()
+    };
+    Gbdt::fit(&cfg, &two_class_data(), 0);
+}

@@ -58,6 +58,23 @@ where
     A: Send,
     W: Fn(Range<usize>) -> A + Sync,
 {
+    execute_init(len, || (), |_, r| work(r))
+}
+
+/// [`execute`] with a per-worker state created lazily by `init` the first
+/// time a worker claims a chunk and reused for every further chunk that
+/// worker processes (the sequential path uses a single state).
+///
+/// Chunking — and therefore the result — is still a function of input
+/// length only; `work` must produce the same output for a chunk regardless
+/// of what the state was previously used for (scratch buffers, not
+/// accumulators).
+fn execute_init<T, A, INIT, W>(len: usize, init: INIT, work: W) -> Vec<A>
+where
+    A: Send,
+    INIT: Fn() -> T + Sync,
+    W: Fn(&mut T, Range<usize>) -> A + Sync,
+{
     if len == 0 {
         return Vec::new();
     }
@@ -66,19 +83,23 @@ where
     let range = |i: usize| i * size..((i + 1) * size).min(len);
     let workers = current_num_threads().min(n_chunks);
     if workers <= 1 {
-        return (0..n_chunks).map(|i| work(range(i))).collect();
+        let mut state = init();
+        return (0..n_chunks).map(|i| work(&mut state, range(i))).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<A>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n_chunks {
-                    break;
+            s.spawn(|| {
+                let mut state: Option<T> = None;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    let out = work(state.get_or_insert_with(&init), range(i));
+                    *slots[i].lock().unwrap() = Some(out);
                 }
-                let out = work(range(i));
-                *slots[i].lock().unwrap() = Some(out);
             });
         }
     });
@@ -128,6 +149,22 @@ pub trait ParIterExt: ParSource {
         ParFold { src: self, identity, fold }
     }
 
+    /// `map` with a reusable per-worker state, mirroring rayon's
+    /// `map_init`: `init` runs once per worker thread (lazily, on its
+    /// first chunk) and the state is passed to `f` for every item that
+    /// worker processes. Use it to thread scratch buffers through a
+    /// parallel map so allocation happens per worker, not per item. `f`
+    /// must not let the state's history influence its output, or results
+    /// would depend on chunk scheduling.
+    fn map_init<T, U, INIT, F>(self, init: INIT, f: F) -> ParMapInit<Self, INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> U + Sync,
+    {
+        ParMapInit { src: self, init, f }
+    }
+
     /// Eager order-preserving map; convenience for `map(f).collect()`.
     fn par_map<U, F>(self, f: F) -> Vec<U>
     where
@@ -159,6 +196,38 @@ where
             let mut out = Vec::with_capacity(r.len());
             for i in r {
                 out.push((self.f)(self.src.get(i)));
+            }
+            out
+        });
+        let mut v = Vec::with_capacity(len);
+        for c in chunks {
+            v.extend(c);
+        }
+        C::from(v)
+    }
+}
+
+/// Lazy `map_init` adapter; see [`ParIterExt::map_init`].
+pub struct ParMapInit<S, INIT, F> {
+    src: S,
+    init: INIT,
+    f: F,
+}
+
+impl<S, T, U, INIT, F> ParMapInit<S, INIT, F>
+where
+    S: ParSource,
+    U: Send,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, S::Item) -> U + Sync,
+{
+    /// Execute and collect in source order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let len = self.src.len();
+        let chunks = execute_init(len, self.init, |state, r| {
+            let mut out = Vec::with_capacity(r.len());
+            for i in r {
+                out.push((self.f)(state, self.src.get(i)));
             }
             out
         });
@@ -430,6 +499,41 @@ mod tests {
         let expected: String = items.concat();
         for n in [1, 2, 7] {
             assert_eq!(with_threads(n, run), expected);
+        }
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state_and_preserves_order() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                (0..500usize)
+                    .into_par_iter()
+                    .map_init(
+                        || {
+                            inits.fetch_add(1, Ordering::Relaxed);
+                            Vec::<usize>::new()
+                        },
+                        |scratch, i| {
+                            scratch.clear();
+                            scratch.extend(0..i % 7);
+                            i * 2 + scratch.len()
+                        },
+                    )
+                    .collect::<Vec<usize>>()
+            })
+        };
+        let expected: Vec<usize> = (0..500).map(|i| i * 2 + i % 7).collect();
+        for threads in [1, 3, 8] {
+            inits.store(0, Ordering::Relaxed);
+            assert_eq!(run(threads), expected, "pool size {threads}");
+            // State is created at most once per worker, never per item.
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads,
+                "{} inits for {threads} workers",
+                inits.load(Ordering::Relaxed)
+            );
         }
     }
 

@@ -22,8 +22,9 @@ cargo test -q --offline --workspace
 echo "== benches compile (all 12 targets) =="
 cargo bench --no-run --offline --workspace
 
-echo "== bench smoke: bench_sim + history compare =="
+echo "== bench smoke: bench_sim + ML training kernels + history compare =="
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_sim
+SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_ml_kernels train_2k_rows
 scripts/bench_compare.sh
 
 echo "== examples compile =="
