@@ -2,8 +2,12 @@
 //! sequential) and trace codec performance.
 
 use ssd_bench::{criterion_group, criterion_main, BatchSize, Criterion};
-use ssd_sim::{generate_fleet, generate_fleet_archive, generate_fleet_sequential, SimConfig};
-use ssd_types::codec::{decode_trace, encode_trace};
+use ssd_field_study_core::streaming::SummaryAccumulator;
+use ssd_sim::{
+    generate_fleet, generate_fleet_archive, generate_fleet_archive_to, generate_fleet_sequential,
+    SimConfig,
+};
+use ssd_types::codec::{decode_trace, encode_trace, encode_trace_to, TraceDecoder};
 
 fn cfg() -> SimConfig {
     SimConfig {
@@ -38,6 +42,24 @@ fn bench_codec(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Streaming paths against the resident ones above: encode_stream
+    // writes drive-by-drive through the Write-sink encoder, decode_stream
+    // folds the whole archive into a summary without materializing drives.
+    g.bench_function("encode_stream", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(encoded.len());
+            encode_trace_to(&trace, &mut out).unwrap();
+            out
+        })
+    });
+    g.bench_function("decode_stream", |b| {
+        b.iter(|| {
+            let mut dec = TraceDecoder::new(encoded.as_slice()).unwrap();
+            let mut acc = SummaryAccumulator::new();
+            dec.for_each_drive(|d| acc.observe(d)).unwrap();
+            acc.finish()
+        })
+    });
     g.finish();
 }
 
@@ -52,6 +74,12 @@ fn bench_archive(c: &mut Criterion) {
     });
     g.bench_function("baseline_180_drives", |b| {
         b.iter(|| encode_trace(&generate_fleet(&cfg())))
+    });
+    g.bench_function("stream_180_drives", |b| {
+        b.iter(|| {
+            let mut sink = std::io::sink();
+            generate_fleet_archive_to(&cfg(), &mut sink).unwrap()
+        })
     });
     g.finish();
 }

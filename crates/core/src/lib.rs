@@ -47,6 +47,7 @@ pub mod policy;
 pub mod predict;
 pub mod reentry;
 pub mod report;
+pub mod streaming;
 
 pub use drift::{drift_report, DriftCheck, DriftReport};
 pub use failure::{failure_records, operational_periods, FailureRecord, OperationalPeriod};

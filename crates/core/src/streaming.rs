@@ -1,0 +1,321 @@
+//! Constant-memory trace summarization: one fold over drives, arriving in
+//! any order, from any source.
+//!
+//! Every analysis `ssdstat` prints by default — failure incidence
+//! (Table 3), failure-count distribution (Table 4), error incidence
+//! (Table 1), the non-operational-period ECDF (Figure 4), and the
+//! time-to-repair ECDF (Figure 5) — is a per-drive fold: no analysis
+//! needs two drives resident at once. [`SummaryAccumulator`] exploits
+//! that: feed it drives one at a time (e.g. from a streaming
+//! `TraceDecoder` over a multi-GB archive) and [`finish`] produces the
+//! *same* result structs as the resident functions in [`lifecycle`] and
+//! [`characterize`] — pinned by an equivalence test, and independent of
+//! the order drives are observed in (the ECDFs sort internally).
+//!
+//! [`finish`]: SummaryAccumulator::finish
+//! [`lifecycle`]: crate::lifecycle
+//! [`characterize`]: crate::characterize
+
+use crate::characterize::ErrorIncidence;
+use crate::failure::failure_records;
+use crate::lifecycle::{FailureCountDistribution, FailureIncidence};
+use ssd_stats::Ecdf;
+use ssd_types::{DriveLog, DriveModel, ErrorKind};
+
+/// Everything `ssdstat`'s default report needs, computed in one streaming
+/// pass. Field types match the resident analysis functions exactly.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Number of drives observed.
+    pub n_drives: usize,
+    /// Total daily reports across all drives.
+    pub total_drive_days: usize,
+    /// Total swap events across all drives.
+    pub total_swaps: usize,
+    /// Table 3, identical to `lifecycle::failure_incidence`.
+    pub failure_incidence: FailureIncidence,
+    /// Table 4, identical to `lifecycle::failure_count_distribution`.
+    pub failure_counts: FailureCountDistribution,
+    /// Table 1, identical to `characterize::error_incidence`.
+    pub error_incidence: ErrorIncidence,
+    /// Figure 4, identical to `lifecycle::non_operational_ecdf`.
+    pub non_operational: Ecdf,
+    /// Figure 5, identical to `lifecycle::time_to_repair_ecdf`.
+    pub time_to_repair: Ecdf,
+}
+
+/// Per-drive fold state behind [`StreamSummary`].
+///
+/// Peak memory is the accumulator itself: a few fixed-size count tables
+/// plus one `f64` per failure event (for the two ECDFs) — independent of
+/// trace size for realistic failure rates, and never proportional to
+/// drive-days.
+#[derive(Debug, Clone)]
+pub struct SummaryAccumulator {
+    n_drives: usize,
+    total_drive_days: usize,
+    total_swaps: usize,
+    // Table 3: per DriveModel::ALL index.
+    model_drives: [usize; 3],
+    model_failures: [usize; 3],
+    model_failed_drives: [usize; 3],
+    // Table 4.
+    count_of: Vec<usize>,
+    // Table 1.
+    days: [u64; 3],
+    error_days: [[u64; 3]; ErrorKind::COUNT],
+    // Figures 4 and 5. Samples are buffered unsorted; Ecdf sorts at
+    // finish(), which is what makes the fold order-independent.
+    non_operational_days: Vec<f64>,
+    repair_days: Vec<f64>,
+    repairs_censored: u64,
+}
+
+impl Default for SummaryAccumulator {
+    fn default() -> Self {
+        SummaryAccumulator::new()
+    }
+}
+
+impl SummaryAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SummaryAccumulator {
+            n_drives: 0,
+            total_drive_days: 0,
+            total_swaps: 0,
+            model_drives: [0; 3],
+            model_failures: [0; 3],
+            model_failed_drives: [0; 3],
+            count_of: vec![0],
+            days: [0; 3],
+            error_days: [[0; 3]; ErrorKind::COUNT],
+            non_operational_days: Vec::new(),
+            repair_days: Vec::new(),
+            repairs_censored: 0,
+        }
+    }
+
+    /// Folds one drive in. Drives may arrive in any order; each must be
+    /// observed exactly once.
+    pub fn observe(&mut self, d: &DriveLog) {
+        let m = d.model.index();
+        self.n_drives += 1;
+        self.total_drive_days += d.reports.len();
+        self.total_swaps += d.swaps.len();
+
+        // Table 3.
+        self.model_drives[m] += 1;
+        self.model_failures[m] += d.swaps.len();
+        if d.ever_failed() {
+            self.model_failed_drives[m] += 1;
+        }
+
+        // Table 4.
+        let k = d.swaps.len();
+        if self.count_of.len() <= k {
+            self.count_of.resize(k + 1, 0);
+        }
+        self.count_of[k] += 1;
+
+        // Table 1.
+        self.days[m] += d.reports.len() as u64;
+        for r in &d.reports {
+            for (kind, c) in r.errors.iter() {
+                if c > 0 {
+                    self.error_days[kind.index()][m] += 1;
+                }
+            }
+        }
+
+        // Figure 4.
+        for f in failure_records(d) {
+            self.non_operational_days
+                .push(f64::from(f.non_operational_days()));
+        }
+
+        // Figure 5.
+        for s in &d.swaps {
+            match s.repair_days() {
+                Some(r) => self.repair_days.push(f64::from(r)),
+                None => self.repairs_censored += 1,
+            }
+        }
+    }
+
+    /// Merges another accumulator in (e.g. from a parallel shard).
+    pub fn merge(&mut self, other: &SummaryAccumulator) {
+        self.n_drives += other.n_drives;
+        self.total_drive_days += other.total_drive_days;
+        self.total_swaps += other.total_swaps;
+        for m in 0..3 {
+            self.model_drives[m] += other.model_drives[m];
+            self.model_failures[m] += other.model_failures[m];
+            self.model_failed_drives[m] += other.model_failed_drives[m];
+            self.days[m] += other.days[m];
+        }
+        if self.count_of.len() < other.count_of.len() {
+            self.count_of.resize(other.count_of.len(), 0);
+        }
+        for (k, c) in other.count_of.iter().enumerate() {
+            self.count_of[k] += c;
+        }
+        for k in 0..ErrorKind::COUNT {
+            for m in 0..3 {
+                self.error_days[k][m] += other.error_days[k][m];
+            }
+        }
+        self.non_operational_days
+            .extend_from_slice(&other.non_operational_days);
+        self.repair_days.extend_from_slice(&other.repair_days);
+        self.repairs_censored += other.repairs_censored;
+    }
+
+    /// Number of drives observed so far.
+    pub fn n_drives(&self) -> usize {
+        self.n_drives
+    }
+
+    /// Finalizes the fold into the same result structs the resident
+    /// analysis functions produce.
+    pub fn finish(&self) -> StreamSummary {
+        let mut per_model = Vec::new();
+        let mut total_failures = 0;
+        let mut total_failed = 0;
+        for m in DriveModel::ALL {
+            let i = m.index();
+            let drives = self.model_drives[i];
+            per_model.push((
+                m.name().to_string(),
+                self.model_failures[i],
+                drives,
+                if drives == 0 {
+                    0.0
+                } else {
+                    self.model_failed_drives[i] as f64 / drives as f64
+                },
+            ));
+            total_failures += self.model_failures[i];
+            total_failed += self.model_failed_drives[i];
+        }
+        let failure_incidence = FailureIncidence {
+            per_model,
+            total_failures,
+            total_failed_fraction: if self.n_drives == 0 {
+                0.0
+            } else {
+                total_failed as f64 / self.n_drives as f64
+            },
+        };
+
+        let rates = (0..ErrorKind::COUNT)
+            .map(|k| {
+                let mut row = [0.0; 3];
+                for m in 0..3 {
+                    if self.days[m] > 0 {
+                        row[m] = self.error_days[k][m] as f64 / self.days[m] as f64;
+                    }
+                }
+                row
+            })
+            .collect();
+
+        StreamSummary {
+            n_drives: self.n_drives,
+            total_drive_days: self.total_drive_days,
+            total_swaps: self.total_swaps,
+            failure_incidence,
+            failure_counts: FailureCountDistribution {
+                count_of: self.count_of.clone(),
+            },
+            error_incidence: ErrorIncidence { rates },
+            non_operational: Ecdf::new(&self.non_operational_days),
+            time_to_repair: Ecdf::with_censored(&self.repair_days, self.repairs_censored),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{characterize, lifecycle};
+    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_types::FleetTrace;
+
+    fn trace() -> FleetTrace {
+        generate_fleet(&SimConfig {
+            drives_per_model: 200,
+            horizon_days: 2190,
+            seed: 77,
+        })
+    }
+
+    fn assert_matches_resident(summary: &StreamSummary, t: &FleetTrace) {
+        assert_eq!(summary.n_drives, t.n_drives());
+        assert_eq!(summary.total_drive_days, t.total_drive_days());
+        assert_eq!(summary.total_swaps, t.total_swaps());
+
+        let inc = lifecycle::failure_incidence(t);
+        assert_eq!(summary.failure_incidence.per_model, inc.per_model);
+        assert_eq!(summary.failure_incidence.total_failures, inc.total_failures);
+        assert_eq!(
+            summary.failure_incidence.total_failed_fraction,
+            inc.total_failed_fraction
+        );
+
+        let dist = lifecycle::failure_count_distribution(t);
+        assert_eq!(summary.failure_counts.count_of, dist.count_of);
+
+        let err = characterize::error_incidence(t);
+        assert_eq!(summary.error_incidence.rates, err.rates);
+
+        assert_eq!(summary.non_operational, lifecycle::non_operational_ecdf(t));
+        assert_eq!(summary.time_to_repair, lifecycle::time_to_repair_ecdf(t));
+    }
+
+    #[test]
+    fn streaming_fold_equals_resident_analyses() {
+        let t = trace();
+        let mut acc = SummaryAccumulator::new();
+        for d in &t.drives {
+            acc.observe(d);
+        }
+        assert_matches_resident(&acc.finish(), &t);
+    }
+
+    #[test]
+    fn fold_order_does_not_matter() {
+        let t = trace();
+        let mut acc = SummaryAccumulator::new();
+        for d in t.drives.iter().rev() {
+            acc.observe(d);
+        }
+        assert_matches_resident(&acc.finish(), &t);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_fold() {
+        let t = trace();
+        let mid = t.drives.len() / 3;
+        let mut a = SummaryAccumulator::new();
+        let mut b = SummaryAccumulator::new();
+        for d in &t.drives[..mid] {
+            a.observe(d);
+        }
+        for d in &t.drives[mid..] {
+            b.observe(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.n_drives(), t.n_drives());
+        assert_matches_resident(&a.finish(), &t);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_cleanly() {
+        let s = SummaryAccumulator::new().finish();
+        assert_eq!(s.n_drives, 0);
+        assert_eq!(s.failure_incidence.total_failed_fraction, 0.0);
+        assert_eq!(s.failure_counts.count_of, vec![0]);
+        assert_eq!(s.non_operational.n_finite(), 0);
+    }
+}

@@ -13,6 +13,7 @@ use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
 use ssd_types::codec::{encode_drive_soa, TraceEncoder};
 use ssd_types::{DriveId, DriveModel, FleetTrace};
+use std::io::Write;
 
 /// Generates a complete fleet trace in parallel.
 pub fn generate_fleet(config: &SimConfig) -> FleetTrace {
@@ -51,19 +52,73 @@ fn archive_chunks(n_drives: u32) -> u32 {
     n_drives.min(128)
 }
 
-/// Generates a fleet and encodes it straight into the compact binary
-/// archive format, without materializing a [`FleetTrace`].
+/// What [`generate_fleet_archive_to`] wrote, for logging/reporting without
+/// a second pass over the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Number of drives in the archive.
+    pub drives: u64,
+    /// Total daily reports across all drives.
+    pub drive_days: u64,
+    /// Total swap events across all drives.
+    pub swaps: u64,
+    /// Archive size in bytes (header included).
+    pub bytes: u64,
+}
+
+/// One generated chunk of encoded drives, plus its tallies.
+struct EncodedChunk {
+    drives: u64,
+    drive_days: u64,
+    swaps: u64,
+    bytes: Vec<u8>,
+}
+
+/// Generates and encodes the contiguous drive-id range `[lo, hi)` into one
+/// byte buffer through a reusable [`ReportArena`].
+fn encode_chunk(config: &SimConfig, params: &[ModelParams], lo: u32, hi: u32) -> EncodedChunk {
+    let mut arena = ReportArena::with_capacity(config.horizon_days as usize);
+    // ~40 encoded bytes per drive-day, matching encode_trace's hint.
+    let mut bytes = Vec::with_capacity((hi - lo) as usize * config.horizon_days as usize * 40);
+    let mut drive_days = 0u64;
+    let mut swaps = 0u64;
+    for i in lo..hi {
+        let model = DriveModel::from_index((i % 3) as usize);
+        let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
+        arena.clear();
+        generate_drive_into(&params[model.index()], config.horizon_days, &mut rng, &mut arena);
+        drive_days += arena.columns().len() as u64;
+        swaps += arena.swaps().len() as u64;
+        encode_drive_soa(&mut bytes, DriveId(i), model, arena.columns(), arena.swaps());
+    }
+    EncodedChunk {
+        drives: u64::from(hi - lo),
+        drive_days,
+        swaps,
+        bytes,
+    }
+}
+
+/// Generates a fleet and streams the compact binary archive into `sink`,
+/// without ever materializing a [`FleetTrace`] or the full archive.
 ///
 /// This is the hot path for paper-scale fleets (30k drives × 6 years):
-/// drives are split into `min(n, 128)` contiguous id ranges, each
-/// worker emits its drives into a reusable [`ReportArena`] and serializes
-/// every drive into a per-chunk byte buffer as soon as it is emitted, and
-/// the chunks are concatenated in id order by a
-/// [`TraceEncoder`]. The output is byte-identical to
-/// `encode_trace(&generate_fleet(config))` — the emission loop and RNG
-/// streams are shared with [`generate_fleet`] — and bit-stable across
-/// thread pool sizes (pinned by `tests/determinism.rs`).
-pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
+/// drives are split into `min(n, 128)` contiguous id ranges, each worker
+/// emits its drives into a reusable [`ReportArena`] and serializes every
+/// drive into a per-chunk byte buffer as soon as it is emitted. Chunks are
+/// produced in bounded *waves* (a small multiple of the worker count) and
+/// appended to the sink in id order as each wave lands, so peak memory is
+/// one wave of encoded chunks — not the whole archive — regardless of
+/// fleet size.
+///
+/// The chunk boundaries are a pure function of the drive count and the
+/// append order is chunk-id order, so the bytes written are identical to
+/// `encode_trace(&generate_fleet(config))` at every pool size and wave
+/// size (pinned by `tests/determinism.rs`).
+pub fn generate_fleet_archive_to<W: Write>(
+    config: &SimConfig,
+    sink: W,
+) -> std::io::Result<ArchiveStats> {
     let params: Vec<ModelParams> = DriveModel::ALL
         .iter()
         .map(|&m| ModelParams::for_model(m))
@@ -71,41 +126,51 @@ pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
     let n = config.total_drives();
     let n_chunks = archive_chunks(n);
     let chunk_size = if n_chunks == 0 { 0 } else { n.div_ceil(n_chunks) };
+    // Two chunks in flight per worker keeps the pool busy while bounding
+    // resident encoded bytes to one wave.
+    let wave = (ssd_parallel::current_num_threads().max(1) * 2) as u32;
 
-    let chunks: Vec<(u64, Vec<u8>)> = (0..n_chunks)
-        .into_par_iter()
-        .map(|c| {
-            // Trailing chunks collapse to empty ranges when ceil-sized
-            // chunks cover the fleet early (e.g. 180 drives / 128 chunks).
-            let lo = (c * chunk_size).min(n);
-            let hi = (lo + chunk_size).min(n);
-            let mut arena = ReportArena::with_capacity(config.horizon_days as usize);
-            // ~40 encoded bytes per drive-day, matching encode_trace's hint.
-            let mut bytes = Vec::with_capacity(
-                (hi - lo) as usize * config.horizon_days as usize * 40,
-            );
-            for i in lo..hi {
-                let model = DriveModel::from_index((i % 3) as usize);
-                let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
-                arena.clear();
-                generate_drive_into(
-                    &params[model.index()],
-                    config.horizon_days,
-                    &mut rng,
-                    &mut arena,
-                );
-                encode_drive_soa(&mut bytes, DriveId(i), model, arena.columns(), arena.swaps());
-            }
-            (u64::from(hi - lo), bytes)
-        })
-        .collect();
-
-    let total_bytes: usize = chunks.iter().map(|(_, b)| b.len()).sum();
-    let mut enc = TraceEncoder::with_capacity(config.horizon_days, u64::from(n), 64 + total_bytes);
-    for (count, bytes) in &chunks {
-        enc.append_encoded(*count, bytes);
+    let mut enc = TraceEncoder::to_sink(sink, config.horizon_days, u64::from(n))?;
+    let mut stats = ArchiveStats {
+        drives: u64::from(n),
+        drive_days: 0,
+        swaps: 0,
+        bytes: 0,
+    };
+    let mut c0 = 0u32;
+    while c0 < n_chunks {
+        let c1 = c0.saturating_add(wave).min(n_chunks);
+        let chunks: Vec<EncodedChunk> = (c0..c1)
+            .into_par_iter()
+            .map(|c| {
+                // Trailing chunks collapse to empty ranges when ceil-sized
+                // chunks cover the fleet early (e.g. 180 drives / 128).
+                let lo = (c * chunk_size).min(n);
+                let hi = (lo + chunk_size).min(n);
+                encode_chunk(config, &params, lo, hi)
+            })
+            .collect();
+        for chunk in &chunks {
+            enc.append_encoded(chunk.drives, &chunk.bytes)?;
+            stats.drive_days += chunk.drive_days;
+            stats.swaps += chunk.swaps;
+        }
+        c0 = c1;
     }
-    enc.finish()
+    stats.bytes = enc.bytes_written();
+    enc.finish_sink()?;
+    Ok(stats)
+}
+
+/// Generates a fleet and encodes it into an in-memory archive. Thin
+/// wrapper over [`generate_fleet_archive_to`] with a `Vec<u8>` sink — the
+/// bytes are identical; large fleets should stream to disk instead.
+pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        64 + config.total_drives() as usize * config.horizon_days as usize * 40,
+    );
+    generate_fleet_archive_to(config, &mut out).expect("Vec sink cannot fail");
+    out
 }
 
 /// Sequential reference implementation of [`generate_fleet`], used to
@@ -198,6 +263,46 @@ mod tests {
             assert_eq!(generate_fleet_archive(&cfg), baseline);
             assert!(ssd_types::codec::decode_trace(&generate_fleet_archive(&cfg)).is_ok());
         }
+    }
+
+    #[test]
+    fn archive_to_sink_matches_in_memory_and_reports_stats() {
+        let cfg = tiny();
+        let baseline = generate_fleet_archive(&cfg);
+        let trace = generate_fleet(&cfg);
+        let mut streamed = Vec::new();
+        let stats = generate_fleet_archive_to(&cfg, &mut streamed).unwrap();
+        assert_eq!(streamed, baseline);
+        assert_eq!(stats.drives, trace.n_drives() as u64);
+        assert_eq!(stats.drive_days, trace.total_drive_days() as u64);
+        assert_eq!(stats.swaps, trace.total_swaps() as u64);
+        assert_eq!(stats.bytes, baseline.len() as u64);
+    }
+
+    #[test]
+    fn archive_to_sink_propagates_write_errors() {
+        /// Accepts `budget` bytes, then fails every write.
+        struct FailingSink {
+            budget: usize,
+        }
+        impl std::io::Write for FailingSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        "disk full",
+                    ));
+                }
+                let n = buf.len().min(self.budget);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = generate_fleet_archive_to(&tiny(), FailingSink { budget: 1000 }).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
     }
 
     #[test]

@@ -68,5 +68,8 @@ pub use arena::ReportArena;
 pub use calibration::ModelParams;
 pub use config::SimConfig;
 pub use drive::{generate_drive_into, ReportSink};
-pub use fleet::{generate_fleet, generate_fleet_archive, generate_fleet_sequential};
+pub use fleet::{
+    generate_fleet, generate_fleet_archive, generate_fleet_archive_to, generate_fleet_sequential,
+    ArchiveStats,
+};
 pub use health::{DriveTraits, LifecyclePlan, PlannedFailure};

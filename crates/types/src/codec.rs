@@ -1,18 +1,60 @@
-//! Compact binary (de)serialization for fleet traces.
+//! Compact binary (de)serialization for fleet traces — resident and
+//! streaming.
 //!
 //! A 30,000-drive, six-year trace holds tens of millions of daily reports;
 //! JSON is convenient for interchange but far too large for archival, so
-//! this module provides a simple length-prefixed binary format built on a
-//! plain `Vec<u8>` writer and a borrowing byte cursor. Integers use LEB128
-//! varint encoding since most counters are small most days (errors are
-//! rare — Table 1).
+//! this module provides a simple length-prefixed binary format built on
+//! LEB128 varints (most counters are small most days — errors are rare,
+//! Table 1).
 //!
 //! The format is versioned by a magic header so stale archives fail loudly
 //! rather than decode garbage.
+//!
+//! ## Wire framing
+//!
+//! ```text
+//! archive   := MAGIC("SSDFS\0v1") varint(horizon_days) varint(n_drives) drive*
+//! drive     := varint(id) u8(model) varint(n_reports) report* swaps
+//! report    := varint(age) varint(read) varint(write) varint(erase)
+//!              varint(pe) u8(flags) varint(fbb) varint(gbb)
+//!              varint(err[0]) .. varint(err[9])
+//! swaps     := varint(n_swaps) (varint(swap_day) u8(has_reentry)
+//!              [varint(reentry_day)])*
+//! ```
+//!
+//! There are no per-drive length prefixes or sync markers: records are
+//! self-delimiting, so the archive can only be read front to back — which
+//! is exactly the shape streaming consumption needs.
+//!
+//! ## Streaming
+//!
+//! Multi-GB archives never have to be resident:
+//!
+//! * [`TraceDecoder`] pulls drives one at a time from any [`Read`] source
+//!   through a fixed-size refill buffer. [`next_drive_into`] reuses one
+//!   caller-owned [`DriveLog`]'s report/swap buffers between drives,
+//!   [`read_chunk_into`] amortizes that over drive chunks, and
+//!   [`next_drive_columns`] lends a borrowed columnar
+//!   [`ReportColumns`] view decoded into internal buffers that are
+//!   recycled between drives.
+//! * [`TraceEncoder`] is generic over a [`Write`] sink: each appended
+//!   drive is serialized into an internal scratch buffer (reused between
+//!   drives) and flushed to the sink, so peak memory is one drive record
+//!   regardless of archive size. `TraceEncoder<Vec<u8>>` keeps the legacy
+//!   infallible in-memory API.
+//!
+//! The resident entry points [`encode_trace`]/[`decode_trace`] are thin
+//! wrappers over the same core and remain byte-compatible with archives
+//! produced before the streaming redesign.
+//!
+//! [`next_drive_into`]: TraceDecoder::next_drive_into
+//! [`read_chunk_into`]: TraceDecoder::read_chunk_into
+//! [`next_drive_columns`]: TraceDecoder::next_drive_columns
 
 use crate::{
     DailyReport, DriveId, DriveLog, DriveModel, ErrorCounts, ErrorKind, FleetTrace, SwapEvent,
 };
+use std::io::{Read, Write};
 
 /// Magic bytes + format version prefix.
 const MAGIC: &[u8; 8] = b"SSDFS\0v1";
@@ -23,60 +65,201 @@ pub const STATUS_DEAD: u8 = 1;
 /// Bit set in the report flags byte when the drive latched read-only mode.
 pub const STATUS_READ_ONLY: u8 = 1 << 1;
 
+/// Default refill-buffer capacity for streaming decode (64 KiB).
+const STREAM_BUF_BYTES: usize = 64 * 1024;
+
 /// Errors arising during decode.
+///
+/// Every variant (except a short/garbled header) carries the absolute byte
+/// offset into the archive at which decoding failed, so a corrupt
+/// multi-GB archive reports *where* it broke, not just that it did.
+///
+/// The enum is `#[non_exhaustive]`: match with a wildcard arm so future
+/// decoders can add failure modes without breaking downstream crates.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DecodeError {
-    /// The buffer did not begin with the expected magic/version header.
-    BadMagic,
-    /// The buffer ended before a complete value was read.
-    UnexpectedEof,
+    /// The input did not begin with the expected magic/version header.
+    BadMagic {
+        /// The header bytes actually read (shorter than the magic if the
+        /// input ended early).
+        got: Vec<u8>,
+    },
+    /// The input ended before a complete value was read.
+    UnexpectedEof {
+        /// Byte offset at which more input was expected.
+        offset: u64,
+    },
     /// A varint exceeded the width of its target type.
-    VarintOverflow,
+    VarintOverflow {
+        /// Byte offset of the overflowing varint's final byte.
+        offset: u64,
+    },
     /// An enum discriminant was out of range.
-    BadDiscriminant(u8),
+    BadDiscriminant {
+        /// Byte offset of the offending byte.
+        offset: u64,
+        /// What was being decoded (e.g. `"drive model"`).
+        expected: &'static str,
+        /// The out-of-range value found.
+        got: u8,
+    },
+    /// The underlying [`Read`] source failed (streaming decode only).
+    Io {
+        /// Byte offset at which the read failed.
+        offset: u64,
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// The I/O error message.
+        message: String,
+    },
+}
+
+impl DecodeError {
+    /// The archive byte offset the error is anchored at, if any
+    /// (`BadMagic` has none — the whole header is implicated).
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            DecodeError::BadMagic { .. } => None,
+            DecodeError::UnexpectedEof { offset }
+            | DecodeError::VarintOverflow { offset }
+            | DecodeError::BadDiscriminant { offset, .. }
+            | DecodeError::Io { offset, .. } => Some(*offset),
+        }
+    }
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::BadMagic => write!(f, "bad magic/version header"),
-            DecodeError::UnexpectedEof => write!(f, "unexpected end of buffer"),
-            DecodeError::VarintOverflow => write!(f, "varint overflow"),
-            DecodeError::BadDiscriminant(d) => write!(f, "bad enum discriminant {d}"),
+            DecodeError::BadMagic { got } => {
+                write!(f, "bad magic/version header: expected {MAGIC:?}, got {got:?}")
+            }
+            DecodeError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            DecodeError::VarintOverflow { offset } => {
+                write!(f, "varint overflow at byte {offset}")
+            }
+            DecodeError::BadDiscriminant {
+                offset,
+                expected,
+                got,
+            } => write!(f, "bad {expected} discriminant {got} at byte {offset}"),
+            DecodeError::Io {
+                offset,
+                kind,
+                message,
+            } => write!(f, "io error ({kind:?}) at byte {offset}: {message}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Borrowing read cursor over an encoded buffer.
-struct Reader<'a> {
+/// Byte source abstraction shared by the in-memory and streaming decode
+/// paths: a fallible byte iterator that knows its absolute offset.
+trait Src {
+    /// Next byte, or `UnexpectedEof`/`Io` anchored at the current offset.
+    fn next_u8(&mut self) -> Result<u8, DecodeError>;
+
+    /// Absolute offset of the next unread byte.
+    fn offset(&self) -> u64;
+}
+
+/// Borrowing read cursor over a fully-resident encoded buffer.
+struct SliceSrc<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Reader<'a> {
+impl<'a> SliceSrc<'a> {
     fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        SliceSrc { buf, pos: 0 }
     }
+}
 
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn get_u8(&mut self) -> Result<u8, DecodeError> {
-        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+impl Src for SliceSrc<'_> {
+    #[inline]
+    fn next_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof {
+            offset: self.pos as u64,
+        })?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        let slice = self
-            .buf
-            .get(self.pos..self.pos + n)
-            .ok_or(DecodeError::UnexpectedEof)?;
-        self.pos += n;
-        Ok(slice)
+    #[inline]
+    fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+}
+
+/// Buffered byte source over an arbitrary [`Read`]er. Holds one fixed
+/// refill buffer; never buffers more than `buf.len()` bytes at a time.
+#[derive(Debug)]
+struct StreamSrc<R> {
+    reader: R,
+    buf: Box<[u8]>,
+    pos: usize,
+    len: usize,
+    /// Absolute offset of `buf[0]` within the archive.
+    base: u64,
+}
+
+impl<R: Read> StreamSrc<R> {
+    fn new(reader: R, capacity: usize) -> Self {
+        StreamSrc {
+            reader,
+            buf: vec![0u8; capacity.max(16)].into_boxed_slice(),
+            pos: 0,
+            len: 0,
+            base: 0,
+        }
+    }
+
+    /// Refills the buffer from the reader. `self.len == 0` afterwards
+    /// means clean EOF.
+    fn refill(&mut self) -> Result<(), DecodeError> {
+        self.base += self.len as u64;
+        self.pos = 0;
+        self.len = 0;
+        loop {
+            match self.reader.read(&mut self.buf) {
+                Ok(n) => {
+                    self.len = n;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(DecodeError::Io {
+                        offset: self.base,
+                        kind: e.kind(),
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Src for StreamSrc<R> {
+    #[inline]
+    fn next_u8(&mut self) -> Result<u8, DecodeError> {
+        if self.pos == self.len {
+            self.refill()?;
+            if self.len == 0 {
+                return Err(DecodeError::UnexpectedEof { offset: self.base });
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    #[inline]
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
     }
 }
 
@@ -92,13 +275,14 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
+fn get_varint<S: Src>(src: &mut S) -> Result<u64, DecodeError> {
     let mut out: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = buf.get_u8()?;
+        let at = src.offset();
+        let byte = src.next_u8()?;
         if shift >= 64 || (shift == 63 && byte > 1) {
-            return Err(DecodeError::VarintOverflow);
+            return Err(DecodeError::VarintOverflow { offset: at });
         }
         out |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -108,9 +292,30 @@ fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
     }
 }
 
-fn get_varint_u32(buf: &mut Reader<'_>) -> Result<u32, DecodeError> {
-    let v = get_varint(buf)?;
-    u32::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+fn get_varint_u32<S: Src>(src: &mut S) -> Result<u32, DecodeError> {
+    let at = src.offset();
+    let v = get_varint(src)?;
+    u32::try_from(v).map_err(|_| DecodeError::VarintOverflow { offset: at })
+}
+
+/// Reads and checks the magic/version header. A source that ends before
+/// the full magic is a `BadMagic` (there is no archive here at all), not
+/// an `UnexpectedEof`.
+fn expect_magic<S: Src>(src: &mut S) -> Result<(), DecodeError> {
+    let mut got = Vec::with_capacity(MAGIC.len());
+    for _ in 0..MAGIC.len() {
+        match src.next_u8() {
+            Ok(b) => got.push(b),
+            Err(DecodeError::UnexpectedEof { .. }) => {
+                return Err(DecodeError::BadMagic { got })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if got != MAGIC {
+        return Err(DecodeError::BadMagic { got });
+    }
+    Ok(())
 }
 
 fn encode_report(buf: &mut Vec<u8>, r: &DailyReport) {
@@ -128,18 +333,18 @@ fn encode_report(buf: &mut Vec<u8>, r: &DailyReport) {
     }
 }
 
-fn decode_report(buf: &mut Reader<'_>) -> Result<DailyReport, DecodeError> {
-    let age_days = get_varint_u32(buf)?;
-    let read_ops = get_varint(buf)?;
-    let write_ops = get_varint(buf)?;
-    let erase_ops = get_varint(buf)?;
-    let pe_cycles = get_varint_u32(buf)?;
-    let flags = buf.get_u8()?;
-    let factory_bad_blocks = get_varint_u32(buf)?;
-    let grown_bad_blocks = get_varint_u32(buf)?;
+fn decode_report<S: Src>(src: &mut S) -> Result<DailyReport, DecodeError> {
+    let age_days = get_varint_u32(src)?;
+    let read_ops = get_varint(src)?;
+    let write_ops = get_varint(src)?;
+    let erase_ops = get_varint(src)?;
+    let pe_cycles = get_varint_u32(src)?;
+    let flags = src.next_u8()?;
+    let factory_bad_blocks = get_varint_u32(src)?;
+    let grown_bad_blocks = get_varint_u32(src)?;
     let mut errors = ErrorCounts::zero();
     for kind in ErrorKind::ALL {
-        errors.set(kind, get_varint(buf)?);
+        errors.set(kind, get_varint(src)?);
     }
     Ok(DailyReport {
         age_days,
@@ -158,10 +363,12 @@ fn decode_report(buf: &mut Reader<'_>) -> Result<DailyReport, DecodeError> {
 /// Borrowed struct-of-arrays view over one drive's daily reports.
 ///
 /// Each slice is one column of the report table, all of equal length (one
-/// entry per report day). This is the zero-copy bridge between an arena of
-/// columnar buffers (`ssd_sim::ReportArena`) and the varint codec:
+/// entry per report day). This is the zero-copy bridge between columnar
+/// buffers and the varint codec: on the encode side
 /// [`encode_drive_soa`] walks the columns row by row and emits bytes
-/// identical to [`encode_trace`] on the equivalent [`DriveLog`].
+/// identical to [`encode_trace`] on the equivalent [`DriveLog`]; on the
+/// decode side [`TraceDecoder::next_drive_columns`] lends this view over
+/// internal buffers.
 #[derive(Debug, Clone, Copy)]
 pub struct ReportColumns<'a> {
     /// Report age in days since deployment (`DailyReport::age_days`).
@@ -263,86 +470,372 @@ fn encode_drive(buf: &mut Vec<u8>, d: &DriveLog) {
     encode_swaps(buf, &d.swaps);
 }
 
-fn decode_drive(buf: &mut Reader<'_>) -> Result<DriveLog, DecodeError> {
-    let id = DriveId(get_varint_u32(buf)?);
-    let model_idx = buf.get_u8()?;
+fn decode_model<S: Src>(src: &mut S) -> Result<DriveModel, DecodeError> {
+    let at = src.offset();
+    let model_idx = src.next_u8()?;
     if usize::from(model_idx) >= DriveModel::ALL.len() {
-        return Err(DecodeError::BadDiscriminant(model_idx));
+        return Err(DecodeError::BadDiscriminant {
+            offset: at,
+            expected: "drive model",
+            got: model_idx,
+        });
     }
-    let model = DriveModel::from_index(usize::from(model_idx));
-    let n_reports = get_varint(buf)? as usize;
-    let mut reports = Vec::with_capacity(n_reports.min(1 << 20));
-    for _ in 0..n_reports {
-        reports.push(decode_report(buf)?);
-    }
-    let n_swaps = get_varint(buf)? as usize;
-    let mut swaps = Vec::with_capacity(n_swaps.min(1 << 10));
+    Ok(DriveModel::from_index(usize::from(model_idx)))
+}
+
+fn decode_swaps_into<S: Src>(src: &mut S, swaps: &mut Vec<SwapEvent>) -> Result<(), DecodeError> {
+    let n_swaps = get_varint(src)? as usize;
+    swaps.reserve(n_swaps.min(1 << 10));
     for _ in 0..n_swaps {
-        let swap_day = get_varint_u32(buf)?;
-        let reentry_day = match buf.get_u8()? {
+        let swap_day = get_varint_u32(src)?;
+        let at = src.offset();
+        let reentry_day = match src.next_u8()? {
             0 => None,
-            1 => Some(get_varint_u32(buf)?),
-            d => return Err(DecodeError::BadDiscriminant(d)),
+            1 => Some(get_varint_u32(src)?),
+            d => {
+                return Err(DecodeError::BadDiscriminant {
+                    offset: at,
+                    expected: "swap re-entry tag",
+                    got: d,
+                })
+            }
         };
         swaps.push(SwapEvent {
             swap_day,
             reentry_day,
         });
     }
-    Ok(DriveLog {
-        id,
-        model,
-        reports,
-        swaps,
-    })
+    Ok(())
 }
 
-/// Incremental archive writer: emits the trace header up front, then
-/// appends drive records one at a time without an intermediate
-/// [`FleetTrace`] in memory.
+/// Decodes one drive record into `log`, reusing its report/swap buffer
+/// capacity. On error the log's contents are unspecified.
+fn decode_drive_into<S: Src>(src: &mut S, log: &mut DriveLog) -> Result<(), DecodeError> {
+    log.reports.clear();
+    log.swaps.clear();
+    log.id = DriveId(get_varint_u32(src)?);
+    log.model = decode_model(src)?;
+    let n_reports = get_varint(src)? as usize;
+    log.reports.reserve(n_reports.min(1 << 20));
+    for _ in 0..n_reports {
+        log.reports.push(decode_report(src)?);
+    }
+    decode_swaps_into(src, &mut log.swaps)
+}
+
+/// Internal columnar buffers the streaming decoder recycles between
+/// drives for [`TraceDecoder::next_drive_columns`].
+#[derive(Debug, Default)]
+struct ColumnStore {
+    age_days: Vec<u32>,
+    read_ops: Vec<u64>,
+    write_ops: Vec<u64>,
+    erase_ops: Vec<u64>,
+    pe_cycles: Vec<u32>,
+    status_flags: Vec<u8>,
+    factory_bad_blocks: Vec<u32>,
+    grown_bad_blocks: Vec<u32>,
+    errors: [Vec<u64>; ErrorKind::COUNT],
+    swaps: Vec<SwapEvent>,
+}
+
+impl ColumnStore {
+    fn clear(&mut self) {
+        self.age_days.clear();
+        self.read_ops.clear();
+        self.write_ops.clear();
+        self.erase_ops.clear();
+        self.pe_cycles.clear();
+        self.status_flags.clear();
+        self.factory_bad_blocks.clear();
+        self.grown_bad_blocks.clear();
+        for col in &mut self.errors {
+            col.clear();
+        }
+        self.swaps.clear();
+    }
+
+    fn view(&self) -> ReportColumns<'_> {
+        ReportColumns {
+            age_days: &self.age_days,
+            read_ops: &self.read_ops,
+            write_ops: &self.write_ops,
+            erase_ops: &self.erase_ops,
+            pe_cycles: &self.pe_cycles,
+            status_flags: &self.status_flags,
+            factory_bad_blocks: &self.factory_bad_blocks,
+            grown_bad_blocks: &self.grown_bad_blocks,
+            errors: std::array::from_fn(|i| self.errors[i].as_slice()),
+        }
+    }
+}
+
+/// Decodes one drive record straight into columnar buffers (no
+/// `DailyReport` structs), returning its identity.
+fn decode_drive_columns_into<S: Src>(
+    src: &mut S,
+    cols: &mut ColumnStore,
+) -> Result<(DriveId, DriveModel), DecodeError> {
+    cols.clear();
+    let id = DriveId(get_varint_u32(src)?);
+    let model = decode_model(src)?;
+    let n_reports = get_varint(src)? as usize;
+    for _ in 0..n_reports {
+        cols.age_days.push(get_varint_u32(src)?);
+        cols.read_ops.push(get_varint(src)?);
+        cols.write_ops.push(get_varint(src)?);
+        cols.erase_ops.push(get_varint(src)?);
+        cols.pe_cycles.push(get_varint_u32(src)?);
+        cols.status_flags.push(src.next_u8()?);
+        cols.factory_bad_blocks.push(get_varint_u32(src)?);
+        cols.grown_bad_blocks.push(get_varint_u32(src)?);
+        for col in &mut cols.errors {
+            col.push(get_varint(src)?);
+        }
+    }
+    decode_swaps_into(src, &mut cols.swaps)?;
+    Ok((id, model))
+}
+
+/// One decoded drive, lent as a borrowed columnar view by
+/// [`TraceDecoder::next_drive_columns`]. Valid until the next decoder
+/// call; the backing buffers are recycled between drives.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveColumns<'a> {
+    /// Drive identifier.
+    pub id: DriveId,
+    /// Drive model.
+    pub model: DriveModel,
+    /// Struct-of-arrays view over the drive's daily reports.
+    pub columns: ReportColumns<'a>,
+    /// The drive's swap events.
+    pub swaps: &'a [SwapEvent],
+}
+
+/// Streaming archive reader: pulls drives one at a time from any
+/// [`Read`] source at constant memory.
+///
+/// The header (magic, horizon, declared drive count) is read eagerly by
+/// [`new`](TraceDecoder::new); drives are then decoded on demand:
+///
+/// * [`next_drive_into`](TraceDecoder::next_drive_into) — fold-style
+///   consumption reusing one caller-owned [`DriveLog`]; the decoder's
+///   buffer-reuse contract means a full pass over a multi-GB archive
+///   allocates only one drive's worth of reports at a time.
+/// * [`read_chunk_into`](TraceDecoder::read_chunk_into) — chunked
+///   consumption into a recycled `Vec<DriveLog>`.
+/// * [`next_drive_columns`](TraceDecoder::next_drive_columns) — borrowed
+///   [`ReportColumns`] views for columnar folds, no per-report structs.
+/// * The [`Iterator`] impl yields owned `Result<DriveLog, DecodeError>`
+///   for convenience when allocation per drive is acceptable.
+///
+/// Exactly the declared number of drives is decoded; trailing bytes after
+/// the last drive are ignored, matching [`decode_trace`]. A source that
+/// ends mid-record yields a [`DecodeError::UnexpectedEof`] carrying the
+/// byte offset of the break.
+#[derive(Debug)]
+pub struct TraceDecoder<R> {
+    src: StreamSrc<R>,
+    horizon_days: u32,
+    n_drives: u64,
+    decoded: u64,
+    cols: ColumnStore,
+}
+
+impl<R: Read> TraceDecoder<R> {
+    /// Opens an archive stream, reading and validating the header.
+    pub fn new(reader: R) -> Result<Self, DecodeError> {
+        TraceDecoder::with_buffer_capacity(reader, STREAM_BUF_BYTES)
+    }
+
+    /// Like [`new`](TraceDecoder::new) with an explicit refill-buffer
+    /// capacity in bytes (the decoder's only size-dependent allocation).
+    pub fn with_buffer_capacity(reader: R, capacity: usize) -> Result<Self, DecodeError> {
+        let mut src = StreamSrc::new(reader, capacity);
+        expect_magic(&mut src)?;
+        let horizon_days = get_varint_u32(&mut src)?;
+        let n_drives = get_varint(&mut src)?;
+        Ok(TraceDecoder {
+            src,
+            horizon_days,
+            n_drives,
+            decoded: 0,
+            cols: ColumnStore::default(),
+        })
+    }
+
+    /// Observation-window length from the archive header.
+    pub fn horizon_days(&self) -> u32 {
+        self.horizon_days
+    }
+
+    /// Number of drives the header declares.
+    pub fn n_drives(&self) -> u64 {
+        self.n_drives
+    }
+
+    /// Number of drives decoded so far.
+    pub fn drives_decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Absolute byte offset of the next unread archive byte.
+    pub fn byte_offset(&self) -> u64 {
+        self.src.offset()
+    }
+
+    /// Decodes the next drive into `log`, reusing its buffers. Returns
+    /// `Ok(false)` once all declared drives have been decoded (leaving
+    /// `log` untouched).
+    pub fn next_drive_into(&mut self, log: &mut DriveLog) -> Result<bool, DecodeError> {
+        if self.decoded >= self.n_drives {
+            return Ok(false);
+        }
+        decode_drive_into(&mut self.src, log)?;
+        self.decoded += 1;
+        Ok(true)
+    }
+
+    /// Decodes up to `max_drives` drives into `out`, reusing both the
+    /// vector and each element's buffers. `out` is truncated to the number
+    /// of drives actually decoded; returns that count (`0` at end of
+    /// archive).
+    pub fn read_chunk_into(
+        &mut self,
+        max_drives: usize,
+        out: &mut Vec<DriveLog>,
+    ) -> Result<usize, DecodeError> {
+        let mut n = 0usize;
+        while n < max_drives && self.decoded < self.n_drives {
+            if n == out.len() {
+                out.push(DriveLog::new(DriveId(0), DriveModel::from_index(0)));
+            }
+            decode_drive_into(&mut self.src, &mut out[n])?;
+            self.decoded += 1;
+            n += 1;
+        }
+        out.truncate(n);
+        Ok(n)
+    }
+
+    /// Decodes the next drive into internal columnar buffers and lends a
+    /// borrowed view. Returns `Ok(None)` once all declared drives have
+    /// been decoded. The view is invalidated by the next decoder call.
+    pub fn next_drive_columns(&mut self) -> Result<Option<DriveColumns<'_>>, DecodeError> {
+        if self.decoded >= self.n_drives {
+            return Ok(None);
+        }
+        let (id, model) = decode_drive_columns_into(&mut self.src, &mut self.cols)?;
+        self.decoded += 1;
+        Ok(Some(DriveColumns {
+            id,
+            model,
+            columns: self.cols.view(),
+            swaps: &self.cols.swaps,
+        }))
+    }
+
+    /// Folds `f` over every remaining drive with one reused scratch
+    /// [`DriveLog`] — the constant-memory way to run a per-drive analysis
+    /// over an arbitrarily large archive.
+    pub fn for_each_drive(
+        &mut self,
+        mut f: impl FnMut(&DriveLog),
+    ) -> Result<(), DecodeError> {
+        let mut scratch = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+        while self.next_drive_into(&mut scratch)? {
+            f(&scratch);
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for TraceDecoder<R> {
+    type Item = Result<DriveLog, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut log = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+        match self.next_drive_into(&mut log) {
+            Ok(true) => Some(Ok(log)),
+            Ok(false) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = usize::try_from(self.n_drives - self.decoded).unwrap_or(usize::MAX);
+        (0, Some(remaining))
+    }
+}
+
+/// Incremental archive writer over any [`Write`] sink: emits the trace
+/// header up front, then appends drive records one at a time. Each drive
+/// is serialized into an internal scratch buffer (reused between drives)
+/// and flushed to the sink immediately, so peak memory is one drive
+/// record regardless of archive size — `generate_fleet_archive` streams
+/// paper-scale archives straight to disk through this type.
 ///
 /// The drive count is part of the header, so it must be declared at
-/// construction; [`finish`](TraceEncoder::finish) panics if the number of
-/// appended drives disagrees, which turns a silently-corrupt archive into
-/// a loud test failure. Drives may arrive from any source — owned logs
-/// ([`append_drive`]), columnar arena views ([`append_columns`]), or
-/// pre-encoded chunks from parallel workers ([`append_encoded`]) — as long
-/// as they are appended in ascending id order (the decoder does not sort).
+/// construction; [`finish_sink`](TraceEncoder::finish_sink) fails (and the
+/// `Vec<u8>` specialization's [`finish`](TraceEncoder::finish) panics) if
+/// the number of appended drives disagrees, which turns a
+/// silently-corrupt archive into a loud failure. Drives may arrive from
+/// any source — owned logs ([`append_drive`]), columnar views
+/// ([`append_columns`]), or pre-encoded chunks from parallel workers
+/// ([`append_encoded`]) — as long as they are appended in ascending id
+/// order (the decoder does not sort).
+///
+/// `TraceEncoder<Vec<u8>>` (the default sink) additionally offers the
+/// legacy infallible API: [`new`](TraceEncoder::new),
+/// [`with_capacity`](TraceEncoder::with_capacity) and
+/// [`finish`](TraceEncoder::finish).
 ///
 /// [`append_drive`]: TraceEncoder::append_drive
 /// [`append_columns`]: TraceEncoder::append_columns
 /// [`append_encoded`]: TraceEncoder::append_encoded
 #[derive(Debug)]
-pub struct TraceEncoder {
-    buf: Vec<u8>,
+pub struct TraceEncoder<W: Write = Vec<u8>> {
+    sink: W,
+    scratch: Vec<u8>,
     declared: u64,
     appended: u64,
+    bytes_written: u64,
 }
 
-impl TraceEncoder {
-    /// Starts an archive for `n_drives` drives over `horizon_days`.
-    pub fn new(horizon_days: u32, n_drives: u64) -> Self {
-        TraceEncoder::with_capacity(horizon_days, n_drives, 0)
-    }
-
-    /// Like [`new`](TraceEncoder::new), pre-reserving `bytes_hint` output
-    /// bytes to avoid reallocation on large archives.
-    pub fn with_capacity(horizon_days: u32, n_drives: u64, bytes_hint: usize) -> Self {
-        let mut buf = Vec::with_capacity(bytes_hint.max(64));
-        buf.extend_from_slice(MAGIC);
-        put_varint(&mut buf, u64::from(horizon_days));
-        put_varint(&mut buf, n_drives);
-        TraceEncoder {
-            buf,
+impl<W: Write> TraceEncoder<W> {
+    /// Starts an archive for `n_drives` drives over `horizon_days`,
+    /// writing the header to `sink` immediately.
+    ///
+    /// `W: Write` is implemented for `&mut W` too, so callers that need
+    /// their sink back afterwards can pass `&mut sink` and ignore
+    /// [`finish_sink`](TraceEncoder::finish_sink)'s return value.
+    pub fn to_sink(sink: W, horizon_days: u32, n_drives: u64) -> std::io::Result<Self> {
+        let mut enc = TraceEncoder {
+            sink,
+            scratch: Vec::with_capacity(64),
             declared: n_drives,
             appended: 0,
-        }
+            bytes_written: 0,
+        };
+        enc.scratch.extend_from_slice(MAGIC);
+        put_varint(&mut enc.scratch, u64::from(horizon_days));
+        put_varint(&mut enc.scratch, n_drives);
+        enc.flush_scratch()?;
+        Ok(enc)
+    }
+
+    fn flush_scratch(&mut self) -> std::io::Result<()> {
+        self.sink.write_all(&self.scratch)?;
+        self.bytes_written += self.scratch.len() as u64;
+        self.scratch.clear();
+        Ok(())
     }
 
     /// Appends one drive from an owned log.
-    pub fn append_drive(&mut self, d: &DriveLog) {
-        encode_drive(&mut self.buf, d);
+    pub fn append_drive(&mut self, d: &DriveLog) -> std::io::Result<()> {
+        encode_drive(&mut self.scratch, d);
         self.appended += 1;
+        self.flush_scratch()
     }
 
     /// Appends one drive from a columnar report view.
@@ -352,19 +845,69 @@ impl TraceEncoder {
         model: DriveModel,
         cols: ReportColumns<'_>,
         swaps: &[SwapEvent],
-    ) {
-        encode_drive_soa(&mut self.buf, id, model, cols, swaps);
+    ) -> std::io::Result<()> {
+        encode_drive_soa(&mut self.scratch, id, model, cols, swaps);
         self.appended += 1;
+        self.flush_scratch()
     }
 
     /// Appends `n_drives` drive records already encoded by this module
-    /// (e.g. a chunk produced by a parallel worker).
-    pub fn append_encoded(&mut self, n_drives: u64, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+    /// (e.g. a chunk produced by a parallel worker), written straight
+    /// through to the sink.
+    pub fn append_encoded(&mut self, n_drives: u64, bytes: &[u8]) -> std::io::Result<()> {
+        self.sink.write_all(bytes)?;
+        self.bytes_written += bytes.len() as u64;
         self.appended += n_drives;
+        Ok(())
     }
 
-    /// Finalizes the archive.
+    /// Number of drives appended so far.
+    pub fn appended_drives(&self) -> u64 {
+        self.appended
+    }
+
+    /// Total bytes written to the sink so far (header included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Finalizes the archive: verifies the appended drive count matches
+    /// the declared header count, flushes, and returns the sink.
+    ///
+    /// A count mismatch yields [`std::io::ErrorKind::InvalidData`] — the
+    /// header would not match the body, so the archive on the sink is not
+    /// decodable to completion.
+    pub fn finish_sink(mut self) -> std::io::Result<W> {
+        if self.appended != self.declared {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "TraceEncoder: declared {} drives but appended {}",
+                    self.declared, self.appended
+                ),
+            ));
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl TraceEncoder<Vec<u8>> {
+    /// Starts an in-memory archive for `n_drives` drives over
+    /// `horizon_days`.
+    pub fn new(horizon_days: u32, n_drives: u64) -> Self {
+        TraceEncoder::with_capacity(horizon_days, n_drives, 0)
+    }
+
+    /// Like [`new`](TraceEncoder::new), pre-reserving `bytes_hint` output
+    /// bytes to avoid reallocation on large archives.
+    pub fn with_capacity(horizon_days: u32, n_drives: u64, bytes_hint: usize) -> Self {
+        let sink = Vec::with_capacity(bytes_hint.max(64));
+        // Writes to a Vec are infallible.
+        TraceEncoder::to_sink(sink, horizon_days, n_drives).expect("Vec sink cannot fail")
+    }
+
+    /// Finalizes the in-memory archive.
     ///
     /// # Panics
     /// If the number of appended drives differs from the count declared at
@@ -375,7 +918,7 @@ impl TraceEncoder {
             "TraceEncoder: declared {} drives but appended {}",
             self.declared, self.appended
         );
-        self.buf
+        self.sink
     }
 }
 
@@ -388,22 +931,36 @@ pub fn encode_trace(trace: &FleetTrace) -> Vec<u8> {
         64 + trace.total_drive_days() * 40,
     );
     for d in &trace.drives {
-        enc.append_drive(d);
+        enc.append_drive(d).expect("Vec sink cannot fail");
     }
     enc.finish()
 }
 
-/// Decodes a fleet trace previously produced by [`encode_trace`].
-pub fn decode_trace(buf: &[u8]) -> Result<FleetTrace, DecodeError> {
-    let mut buf = Reader::new(buf);
-    if buf.remaining() < MAGIC.len() || buf.take(MAGIC.len())? != MAGIC {
-        return Err(DecodeError::BadMagic);
+/// Streams a fleet trace into any [`Write`] sink, returning the number of
+/// bytes written. The bytes are identical to [`encode_trace`]'s.
+pub fn encode_trace_to<W: Write>(trace: &FleetTrace, sink: W) -> std::io::Result<u64> {
+    let mut enc = TraceEncoder::to_sink(sink, trace.horizon_days, trace.drives.len() as u64)?;
+    for d in &trace.drives {
+        enc.append_drive(d)?;
     }
-    let horizon_days = get_varint_u32(&mut buf)?;
-    let n_drives = get_varint(&mut buf)? as usize;
+    let written = enc.bytes_written();
+    enc.finish_sink()?;
+    Ok(written)
+}
+
+/// Decodes a fleet trace previously produced by [`encode_trace`] (or any
+/// [`TraceEncoder`]) from a fully-resident buffer. For constant-memory
+/// consumption of large archives use [`TraceDecoder`] instead.
+pub fn decode_trace(buf: &[u8]) -> Result<FleetTrace, DecodeError> {
+    let mut src = SliceSrc::new(buf);
+    expect_magic(&mut src)?;
+    let horizon_days = get_varint_u32(&mut src)?;
+    let n_drives = get_varint(&mut src)? as usize;
     let mut drives = Vec::with_capacity(n_drives.min(1 << 22));
     for _ in 0..n_drives {
-        drives.push(decode_drive(&mut buf)?);
+        let mut log = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+        decode_drive_into(&mut src, &mut log)?;
+        drives.push(log);
     }
     Ok(FleetTrace {
         horizon_days,
@@ -481,17 +1038,32 @@ mod tests {
     }
 
     #[test]
-    fn bad_magic_is_rejected() {
+    fn bad_magic_is_rejected_with_got_bytes() {
         let err = decode_trace(b"NOTMAGIC!!").unwrap_err();
-        assert_eq!(err, DecodeError::BadMagic);
+        assert_eq!(
+            err,
+            DecodeError::BadMagic {
+                got: b"NOTMAGIC".to_vec()
+            }
+        );
+        assert_eq!(err.offset(), None);
+        // A buffer shorter than the magic is also BadMagic, not EOF.
+        let err = decode_trace(b"SSD").unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic { got: b"SSD".to_vec() });
     }
 
     #[test]
-    fn truncated_buffer_is_rejected() {
+    fn truncated_buffer_is_rejected_with_offset() {
         let t = sample_trace();
         let bytes = encode_trace(&t);
         let cut = &bytes[..bytes.len() - 5];
-        assert!(decode_trace(cut).is_err());
+        let err = decode_trace(cut).unwrap_err();
+        match err {
+            DecodeError::UnexpectedEof { offset } => {
+                assert_eq!(offset, cut.len() as u64, "EOF offset points at the break");
+            }
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
     }
 
     #[test]
@@ -499,15 +1071,30 @@ mod tests {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);
-            let mut b = Reader::new(&buf);
+            let mut b = SliceSrc::new(&buf);
             assert_eq!(get_varint(&mut b).unwrap(), v);
         }
     }
 
     #[test]
     fn varint_overflow_is_detected() {
-        let mut b = Reader::new(&[0xff; 11]);
-        assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
+        let mut b = SliceSrc::new(&[0xff; 11]);
+        // Overflow is detected at the 10th byte (shift 63, byte > 1).
+        assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow { offset: 9 }));
+    }
+
+    #[test]
+    fn decode_error_display_includes_context() {
+        let e = DecodeError::BadDiscriminant {
+            offset: 42,
+            expected: "drive model",
+            got: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("drive model") && s.contains('7') && s.contains("42"), "{s}");
+        assert_eq!(e.offset(), Some(42));
+        let s = DecodeError::BadMagic { got: b"oops".to_vec() }.to_string();
+        assert!(s.contains("expected"), "{s}");
     }
 
     /// Columns borrowed from a drive's reports, for SoA-vs-AoS comparison.
@@ -589,12 +1176,13 @@ mod tests {
 
         // Mixed append paths: owned log, columnar view, pre-encoded bytes.
         let mut enc = TraceEncoder::new(t.horizon_days, t.drives.len() as u64);
-        enc.append_drive(&t.drives[0]);
+        enc.append_drive(&t.drives[0]).unwrap();
         let cols = Cols::from_reports(&t.drives[1].reports);
-        enc.append_columns(t.drives[1].id, t.drives[1].model, cols.view(), &t.drives[1].swaps);
+        enc.append_columns(t.drives[1].id, t.drives[1].model, cols.view(), &t.drives[1].swaps)
+            .unwrap();
         let mut chunk = Vec::new();
         encode_drive(&mut chunk, &t.drives[2]);
-        enc.append_encoded(1, &chunk);
+        enc.append_encoded(1, &chunk).unwrap();
         assert_eq!(enc.finish(), expected);
     }
 
@@ -603,8 +1191,17 @@ mod tests {
     fn trace_encoder_panics_on_count_mismatch() {
         let t = sample_trace();
         let mut enc = TraceEncoder::new(t.horizon_days, 3);
-        enc.append_drive(&t.drives[0]);
+        enc.append_drive(&t.drives[0]).unwrap();
         let _ = enc.finish();
+    }
+
+    #[test]
+    fn generic_encoder_rejects_count_mismatch_as_io_error() {
+        let t = sample_trace();
+        let mut enc = TraceEncoder::to_sink(std::io::sink(), t.horizon_days, 3).unwrap();
+        enc.append_drive(&t.drives[0]).unwrap();
+        let err = enc.finish_sink().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -613,14 +1210,190 @@ mod tests {
         r.status_dead = true;
         let mut buf = Vec::new();
         encode_report(&mut buf, &r);
-        let back = decode_report(&mut Reader::new(&buf)).unwrap();
+        let back = decode_report(&mut SliceSrc::new(&buf)).unwrap();
         assert!(back.status_dead && !back.status_read_only);
 
         r.status_dead = false;
         r.status_read_only = true;
         buf.clear();
         encode_report(&mut buf, &r);
-        let back = decode_report(&mut Reader::new(&buf)).unwrap();
+        let back = decode_report(&mut SliceSrc::new(&buf)).unwrap();
         assert!(!back.status_dead && back.status_read_only);
+    }
+
+    // ---- streaming paths ----
+
+    /// A reader that hands out at most `max` bytes per read call,
+    /// exercising refill boundaries in the streaming decoder.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        max: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = (self.data.len() - self.pos).min(self.max).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn stream_decoder_matches_resident_decode() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        for max in [1usize, 3, 64, bytes.len()] {
+            let reader = Trickle { data: &bytes, pos: 0, max };
+            let mut dec = TraceDecoder::with_buffer_capacity(reader, 32).unwrap();
+            assert_eq!(dec.horizon_days(), t.horizon_days);
+            assert_eq!(dec.n_drives(), t.drives.len() as u64);
+            let drives: Vec<DriveLog> =
+                (&mut dec).map(|d| d.expect("stream decode")).collect();
+            assert_eq!(drives, t.drives, "per-read budget {max}");
+            assert_eq!(dec.drives_decoded(), t.drives.len() as u64);
+            assert_eq!(dec.byte_offset(), bytes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stream_decoder_reuses_buffers_in_fold() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        let mut dec = TraceDecoder::new(&bytes[..]).unwrap();
+        let mut seen = Vec::new();
+        dec.for_each_drive(|d| seen.push(d.clone())).unwrap();
+        assert_eq!(seen, t.drives);
+    }
+
+    #[test]
+    fn stream_decoder_chunks_cover_all_drives() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        for chunk in [1usize, 2, 3, 100] {
+            let mut dec = TraceDecoder::new(&bytes[..]).unwrap();
+            let mut out = Vec::new();
+            let mut all = Vec::new();
+            loop {
+                let n = dec.read_chunk_into(chunk, &mut out).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= chunk);
+                assert_eq!(out.len(), n);
+                all.extend(out.iter().cloned());
+            }
+            assert_eq!(all, t.drives, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_columns_match_owned_drives() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        let mut dec = TraceDecoder::new(&bytes[..]).unwrap();
+        for expected in &t.drives {
+            let view = dec.next_drive_columns().unwrap().expect("one view per drive");
+            assert_eq!(view.id, expected.id);
+            assert_eq!(view.model, expected.model);
+            assert_eq!(view.swaps, expected.swaps.as_slice());
+            assert_eq!(view.columns.len(), expected.reports.len());
+            // Re-encoding the borrowed view reproduces the drive's bytes.
+            let mut via_cols = Vec::new();
+            encode_drive_soa(&mut via_cols, view.id, view.model, view.columns, view.swaps);
+            let mut via_log = Vec::new();
+            encode_drive(&mut via_log, expected);
+            assert_eq!(via_cols, via_log);
+        }
+        assert!(dec.next_drive_columns().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_decoder_reports_truncation_offset() {
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        let cut = &bytes[..bytes.len() - 5];
+        let mut dec = TraceDecoder::new(cut).unwrap();
+        let err = dec.find_map(|r| r.err()).expect("truncation must error");
+        assert_eq!(err, DecodeError::UnexpectedEof { offset: cut.len() as u64 });
+    }
+
+    #[test]
+    fn stream_decoder_rejects_bad_magic_and_short_input() {
+        let err = TraceDecoder::new(&b"NOTMAGIC!!"[..]).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic { .. }));
+        let err = TraceDecoder::new(&b"SS"[..]).unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic { got: b"SS".to_vec() });
+    }
+
+    #[test]
+    fn stream_decoder_surfaces_io_errors_with_offset() {
+        struct FailAfter {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        "synthetic failure",
+                    ));
+                }
+                let n = (self.data.len() - self.pos).min(buf.len()).min(7);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let t = sample_trace();
+        let bytes = encode_trace(&t);
+        let half = bytes.len() / 2;
+        let reader = FailAfter { data: bytes[..half].to_vec(), pos: 0 };
+        let mut dec = TraceDecoder::with_buffer_capacity(reader, 16).unwrap();
+        let err = dec.find_map(|r| r.err()).expect("io failure must surface");
+        match err {
+            DecodeError::Io { offset, kind, .. } => {
+                assert_eq!(kind, std::io::ErrorKind::BrokenPipe);
+                assert_eq!(offset, half as u64);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_encoder_is_byte_identical_to_resident() {
+        let t = sample_trace();
+        let expected = encode_trace(&t);
+        let mut out = Vec::new();
+        let written = encode_trace_to(&t, &mut out).unwrap();
+        assert_eq!(out, expected);
+        assert_eq!(written, expected.len() as u64);
+    }
+
+    #[test]
+    fn encoder_tracks_bytes_and_drives() {
+        let t = sample_trace();
+        let mut enc =
+            TraceEncoder::to_sink(std::io::sink(), t.horizon_days, t.drives.len() as u64)
+                .unwrap();
+        for d in &t.drives {
+            enc.append_drive(d).unwrap();
+        }
+        assert_eq!(enc.appended_drives(), t.drives.len() as u64);
+        assert_eq!(enc.bytes_written(), encode_trace(&t).len() as u64);
+        enc.finish_sink().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_after_declared_drives_are_ignored() {
+        let t = sample_trace();
+        let mut bytes = encode_trace(&t);
+        bytes.extend_from_slice(b"trailing junk");
+        assert_eq!(decode_trace(&bytes).unwrap(), t);
+        let mut dec = TraceDecoder::new(&bytes[..]).unwrap();
+        let n = (&mut dec).filter(|r| r.is_ok()).count();
+        assert_eq!(n, t.drives.len());
     }
 }

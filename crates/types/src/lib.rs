@@ -13,7 +13,7 @@
 //! the moments failed drives are extracted for repair.
 //!
 //! The types in this crate are the interchange boundary of the whole
-//! workspace: the simulator ([`ssd-sim`]) produces them, and every analysis
+//! workspace: the simulator (`ssd-sim`) produces them, and every analysis
 //! in `ssd-field-study-core` consumes them. A user with access to a real
 //! field trace can deserialize it into these types (all types are
 //! JSON-enabled via the in-tree [`json`] module and a compact binary codec
@@ -29,7 +29,10 @@
 //! * [`report`] — the daily report record.
 //! * [`swap`] — swap (repair-extraction) events.
 //! * [`log`] — a single drive's full history and fleet-level traces.
-//! * [`codec`] — compact binary serialization for large traces.
+//! * [`codec`] — compact binary serialization for large traces, resident
+//!   and streaming ([`codec::TraceDecoder`] / [`codec::TraceEncoder`]).
+//! * [`source`] — uniform [`source::TraceSource`] / [`source::TraceReader`]
+//!   access over archive / JSON / CSV / in-memory traces.
 //! * [`json`] — minimal JSON writer/parser and conversion traits (the
 //!   workspace builds offline, so this replaces `serde`/`serde_json`).
 
@@ -44,6 +47,7 @@ pub mod json;
 pub mod log;
 pub mod model;
 pub mod report;
+pub mod source;
 pub mod swap;
 
 pub use counts::ErrorCounts;

@@ -3,8 +3,8 @@
 
 use ssd_testkit::{for_each_case, Gen};
 use ssd_types::codec::{
-    decode_trace, encode_drive_soa, encode_trace, ReportColumns, TraceEncoder, STATUS_DEAD,
-    STATUS_READ_ONLY,
+    decode_trace, encode_drive_soa, encode_trace, encode_trace_to, ReportColumns, TraceDecoder,
+    TraceEncoder, STATUS_DEAD, STATUS_READ_ONLY,
 };
 use ssd_types::csv::{read_trace_csv, write_reports_csv, write_swaps_csv};
 use ssd_types::{
@@ -106,8 +106,86 @@ fn truncation_never_panics() {
         let cut = g.usize_in(0, 64);
         let bytes = encode_trace(&trace);
         let keep = bytes.len().saturating_sub(cut);
-        // Either decodes (cut == 0) or errors; must never panic.
-        let _ = decode_trace(&bytes[..keep]);
+        // Either decodes (cut == 0) or errors; must never panic. Both the
+        // resident and the streaming path must agree on success/failure.
+        let resident = decode_trace(&bytes[..keep]);
+        let streamed = drain_stream(&bytes[..keep]);
+        assert_eq!(resident.is_ok(), streamed.is_ok());
+        if let (Ok(a), Ok(b)) = (resident, streamed) {
+            assert_eq!(a, b);
+        }
+    });
+}
+
+/// Fully consumes an archive through [`TraceDecoder`], returning the
+/// decoded trace or the first typed error. Panics are the only failure
+/// mode this helper cannot produce — which is the point.
+fn drain_stream(bytes: &[u8]) -> Result<FleetTrace, ssd_types::codec::DecodeError> {
+    let mut dec = TraceDecoder::new(bytes)?;
+    let horizon_days = dec.horizon_days();
+    let mut drives = Vec::new();
+    for d in &mut dec {
+        drives.push(d?);
+    }
+    Ok(FleetTrace {
+        horizon_days,
+        drives,
+    })
+}
+
+#[test]
+fn mutation_never_panics_and_yields_typed_errors() {
+    for_each_case("mutation_never_panics", 128, |g| {
+        let trace = arb_trace(g);
+        let mut bytes = encode_trace(&trace);
+        for _ in 0..g.usize_in(1, 4) {
+            let i = g.usize_in(0, bytes.len() - 1);
+            bytes[i] ^= g.u32_in(1, 255) as u8;
+        }
+        // A mutated archive may still decode (the flip landed in a value),
+        // but it must never panic, and both paths must agree.
+        let resident = decode_trace(&bytes);
+        let streamed = drain_stream(&bytes);
+        assert_eq!(resident.is_ok(), streamed.is_ok());
+        // The columnar streaming path must be equally hardened.
+        if let Ok(mut dec) = TraceDecoder::new(bytes.as_slice()) {
+            loop {
+                match dec.next_drive_columns() {
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn stream_roundtrip_matches_resident_at_chunk_sizes() {
+    for_each_case("stream_roundtrip_chunks", 32, |g| {
+        let trace = arb_trace(g);
+        let resident = encode_trace(&trace);
+        let mut streamed = Vec::new();
+        encode_trace_to(&trace, &mut streamed).expect("stream encode");
+        assert_eq!(streamed, resident, "stream-encode must be byte-identical");
+
+        let n = trace.drives.len();
+        for chunk in [1usize, 7, 128, n] {
+            let mut dec = TraceDecoder::new(streamed.as_slice()).expect("header");
+            assert_eq!(dec.horizon_days(), trace.horizon_days);
+            let mut scratch = Vec::new();
+            let mut all: Vec<DriveLog> = Vec::new();
+            loop {
+                let got = dec.read_chunk_into(chunk, &mut scratch).expect("chunk");
+                if got == 0 {
+                    break;
+                }
+                all.extend(scratch.iter().cloned());
+            }
+            assert_eq!(
+                all, trace.drives,
+                "chunked stream decode (chunk {chunk}) must equal resident"
+            );
+        }
     });
 }
 
@@ -228,7 +306,8 @@ fn soa_encoding_matches_aos_for_arbitrary_traces() {
             TraceEncoder::new(trace.horizon_days, trace.drives.len() as u64);
         for d in &trace.drives {
             let cols = OwnedColumns::from_reports(&d.reports);
-            enc.append_columns(d.id, d.model, cols.view(), &d.swaps);
+            enc.append_columns(d.id, d.model, cols.view(), &d.swaps)
+                .expect("Vec sink cannot fail");
         }
         let soa = enc.finish();
         assert_eq!(soa, expected);
@@ -246,7 +325,7 @@ fn per_drive_soa_encoding_is_self_consistent() {
         let mut soa = Vec::new();
         encode_drive_soa(&mut soa, d.id, d.model, cols.view(), &d.swaps);
         let mut enc = TraceEncoder::new(100, 1);
-        enc.append_drive(&d);
+        enc.append_drive(&d).expect("Vec sink cannot fail");
         let via_log = enc.finish();
         // Skip the archive header; the drive record bytes must agree.
         assert_eq!(&via_log[via_log.len() - soa.len()..], soa.as_slice());

@@ -22,10 +22,27 @@ cargo test -q --offline --workspace
 echo "== benches compile (all 12 targets) =="
 cargo bench --no-run --offline --workspace
 
-echo "== bench smoke: bench_sim + ML training kernels + history compare =="
+echo "== bench smoke: bench_sim (incl. encode_stream/decode_stream) + ML kernels + history compare =="
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_sim
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_ml_kernels train_2k_rows
 scripts/bench_compare.sh
+
+echo "== streaming smoke: generate -> summarize, truncated/corrupt archives rejected =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+# 800 days so staggered deployment leaves real report data in the file
+# (short horizons produce near-empty archives a truncation can't corrupt).
+target/release/ssdgen --out "$smoke_dir" --drives 7 --days 800 --seed 99 --format bin
+target/release/ssdstat --trace "$smoke_dir/trace.ssdfs" > /dev/null
+archive_bytes="$(wc -c < "$smoke_dir/trace.ssdfs")"
+head -c "$((archive_bytes / 2))" "$smoke_dir/trace.ssdfs" > "$smoke_dir/truncated.ssdfs"
+if target/release/ssdstat --trace "$smoke_dir/truncated.ssdfs" > /dev/null 2>&1; then
+  echo "ERROR: ssdstat accepted a truncated archive"; exit 1
+fi
+printf 'not an archive' > "$smoke_dir/corrupt.ssdfs"
+if target/release/ssdstat --trace "$smoke_dir/corrupt.ssdfs" > /dev/null 2>&1; then
+  echo "ERROR: ssdstat accepted a corrupt archive"; exit 1
+fi
 
 echo "== examples compile =="
 cargo build --offline --examples

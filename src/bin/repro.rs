@@ -1,12 +1,17 @@
-//! Regenerates every table and figure of the paper from a simulated fleet.
+//! Regenerates every table and figure of the paper from a simulated fleet —
+//! or from a real trace.
 //!
 //! ```text
-//! repro [--scale test|default|paper] [--seed N] [--json DIR] [IDS...]
+//! repro [--scale test|default|paper] [--seed N] [--json DIR]
+//!       [--trace PATH [--horizon DAYS]] [IDS...]
 //! ```
 //!
 //! `IDS` are experiment identifiers (`tab1`, `fig6`, …) as listed in
 //! DESIGN.md; with no ids, every experiment runs. `--json DIR` additionally
-//! writes each result as JSON for EXPERIMENTS.md bookkeeping.
+//! writes each result as JSON for EXPERIMENTS.md bookkeeping. With
+//! `--trace`, the fleet is loaded from an archive / JSON export / CSV
+//! directory (`--horizon` required for CSV) instead of simulated, so the
+//! paper's analyses run against real field data in this tool's schema.
 
 use ssd_field_study_core::predict::{
     age_analysis, error_pred, importance, models, per_model, sweep,
@@ -15,44 +20,60 @@ use ssd_field_study_core::report::render_series;
 use ssd_field_study_core::{aging, characterize, errors_analysis, lifecycle};
 use ssd_field_study_core::{PredictConfig, Series};
 use ssd_sim::{generate_fleet, SimConfig};
+use ssd_types::source::TraceSource;
 use ssd_types::FleetTrace;
+
+type BinError = Box<dyn std::error::Error>;
 
 struct Args {
     scale: String,
     seed: u64,
     json_dir: Option<String>,
+    trace: Option<String>,
+    horizon: Option<u32>,
     ids: Vec<String>,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, BinError> {
     let mut args = Args {
         scale: "default".into(),
         seed: 7,
         json_dir: None,
+        trace: None,
+        horizon: None,
         ids: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => args.scale = it.next().expect("--scale needs a value"),
+            "--scale" => args.scale = it.next().ok_or("--scale needs a value")?,
             "--seed" => {
                 args.seed = it
                     .next()
-                    .expect("--seed needs a value")
+                    .ok_or("--seed needs a value")?
                     .parse()
-                    .expect("seed must be an integer")
+                    .map_err(|e| format!("--seed: {e}"))?
             }
-            "--json" => args.json_dir = Some(it.next().expect("--json needs a dir")),
+            "--json" => args.json_dir = Some(it.next().ok_or("--json needs a dir")?),
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--horizon" => {
+                args.horizon = Some(
+                    it.next()
+                        .ok_or("--horizon needs days")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale test|default|paper] [--seed N] [--json DIR] [IDS...]"
+                    "usage: repro [--scale test|default|paper] [--seed N] [--json DIR] [--trace PATH [--horizon DAYS]] [IDS...]"
                 );
                 std::process::exit(0);
             }
             id => args.ids.push(id.to_string()),
         }
     }
-    args
+    Ok(args)
 }
 
 const ALL_IDS: [&str; 22] = [
@@ -265,30 +286,47 @@ fn run_experiment(id: &str, trace: &FleetTrace, cfg: &PredictConfig, json: &Opti
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let sim_cfg = match args.scale.as_str() {
-        "test" => SimConfig::test_scale(args.seed),
-        "default" => SimConfig::default_scale(args.seed),
-        "paper" => SimConfig::paper_scale(args.seed),
-        other => {
-            eprintln!("unknown scale '{other}' (use test|default|paper)");
-            std::process::exit(1);
-        }
+fn run() -> Result<(), BinError> {
+    let args = parse_args()?;
+    let trace = if let Some(path) = &args.trace {
+        // Real-data mode: the experiments need random access across the
+        // whole fleet, so the trace loads resident.
+        let source = TraceSource::from_path(path, args.horizon)?;
+        let t0 = std::time::Instant::now();
+        let trace = source.load()?;
+        trace
+            .validate()
+            .map_err(|e| format!("trace invariants: {e}"))?;
+        eprintln!(
+            "loaded {path}: {} drives, {} drive-days, {} swaps ({:.1}s)",
+            trace.n_drives(),
+            trace.total_drive_days(),
+            trace.total_swaps(),
+            t0.elapsed().as_secs_f64()
+        );
+        trace
+    } else {
+        let sim_cfg = match args.scale.as_str() {
+            "test" => SimConfig::test_scale(args.seed),
+            "default" => SimConfig::default_scale(args.seed),
+            "paper" => SimConfig::paper_scale(args.seed),
+            other => return Err(format!("unknown scale '{other}' (use test|default|paper)").into()),
+        };
+        eprintln!(
+            "generating fleet: {} drives/model over {} days (seed {}) ...",
+            sim_cfg.drives_per_model, sim_cfg.horizon_days, sim_cfg.seed
+        );
+        let t0 = std::time::Instant::now();
+        let trace = generate_fleet(&sim_cfg);
+        eprintln!(
+            "fleet ready: {} drives, {} drive-days, {} swaps ({:.1}s)",
+            trace.n_drives(),
+            trace.total_drive_days(),
+            trace.total_swaps(),
+            t0.elapsed().as_secs_f64()
+        );
+        trace
     };
-    eprintln!(
-        "generating fleet: {} drives/model over {} days (seed {}) ...",
-        sim_cfg.drives_per_model, sim_cfg.horizon_days, sim_cfg.seed
-    );
-    let t0 = std::time::Instant::now();
-    let trace = generate_fleet(&sim_cfg);
-    eprintln!(
-        "fleet ready: {} drives, {} drive-days, {} swaps ({:.1}s)",
-        trace.n_drives(),
-        trace.total_drive_days(),
-        trace.total_swaps(),
-        t0.elapsed().as_secs_f64()
-    );
 
     let mut predict_cfg = if args.scale == "test" {
         PredictConfig::fast(args.seed)
@@ -312,5 +350,13 @@ fn main() {
         let t = std::time::Instant::now();
         run_experiment(id, &trace, &predict_cfg, &args.json_dir);
         eprintln!("  [{id} took {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
     }
 }

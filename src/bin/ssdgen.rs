@@ -5,14 +5,18 @@
 //! ```
 //!
 //! Formats:
-//! * `bin`  — compact varint archive (`trace.ssdfs`), smallest;
+//! * `bin`  — compact varint archive (`trace.ssdfs`), smallest; streamed
+//!   to disk chunk-by-chunk, so paper-scale fleets never hold the archive
+//!   (or a `FleetTrace`) in memory;
 //! * `json` — `trace.json`, for ad-hoc tooling;
 //! * `csv`  — `reports.csv` + `swaps.csv`, for pandas/R.
 
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_sim::{generate_fleet, generate_fleet_archive_to, SimConfig};
 use ssd_types::{codec, csv};
 use std::fs::File;
 use std::io::{BufWriter, Write};
+
+type BinError = Box<dyn std::error::Error>;
 
 struct Args {
     out: String,
@@ -22,7 +26,7 @@ struct Args {
     format: String,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, BinError> {
     let mut args = Args {
         out: String::new(),
         drives_per_model: 2000,
@@ -32,28 +36,35 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut next = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
-            "--out" => args.out = next("--out"),
-            "--drives" => args.drives_per_model = next("--drives").parse().expect("drives"),
-            "--days" => args.horizon_days = next("--days").parse().expect("days"),
-            "--seed" => args.seed = next("--seed").parse().expect("seed"),
-            "--format" => args.format = next("--format"),
+            "--out" => args.out = next("--out")?,
+            "--drives" => {
+                args.drives_per_model =
+                    next("--drives")?.parse().map_err(|e| format!("--drives: {e}"))?
+            }
+            "--days" => {
+                args.horizon_days = next("--days")?.parse().map_err(|e| format!("--days: {e}"))?
+            }
+            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--format" => args.format = next("--format")?,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ssdgen --out DIR [--drives N] [--days D] [--seed S] [--format bin|json|csv]"
                 );
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other}"),
+            other => return Err(format!("unknown argument {other}").into()),
         }
     }
-    assert!(!args.out.is_empty(), "--out is required");
-    args
+    if args.out.is_empty() {
+        return Err("--out is required".into());
+    }
+    Ok(args)
 }
 
-fn main() {
-    let args = parse_args();
+fn run() -> Result<(), BinError> {
+    let args = parse_args()?;
     let cfg = SimConfig {
         drives_per_model: args.drives_per_model,
         horizon_days: args.horizon_days,
@@ -65,41 +76,71 @@ fn main() {
         cfg.horizon_days,
         cfg.seed
     );
-    let trace = generate_fleet(&cfg);
-    trace.validate().expect("generated trace must validate");
-    eprintln!(
-        "generated {} drive-days, {} swaps",
-        trace.total_drive_days(),
-        trace.total_swaps()
-    );
-    std::fs::create_dir_all(&args.out).expect("create output dir");
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("create {}: {e}", args.out))?;
     match args.format.as_str() {
         "bin" => {
+            // Streamed: drives are generated and encoded in bounded waves
+            // straight to the file; the archive (byte-identical to the
+            // in-memory path, pinned by tests/determinism.rs) is never
+            // resident.
             let path = format!("{}/trace.ssdfs", args.out);
-            let bytes = codec::encode_trace(&trace);
-            std::fs::write(&path, &bytes).expect("write archive");
-            eprintln!("wrote {path} ({:.2} MiB)", bytes.len() as f64 / 1048576.0);
+            let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            let stats = generate_fleet_archive_to(&cfg, &mut w)?;
+            w.flush()?;
+            eprintln!(
+                "generated {} drive-days, {} swaps",
+                stats.drive_days, stats.swaps
+            );
+            eprintln!("wrote {path} ({:.2} MiB)", stats.bytes as f64 / 1048576.0);
         }
         "json" => {
+            let trace = generate_fleet(&cfg);
+            trace
+                .validate()
+                .map_err(|e| format!("generated trace must validate: {e}"))?;
+            eprintln!(
+                "generated {} drive-days, {} swaps",
+                trace.total_drive_days(),
+                trace.total_swaps()
+            );
             let path = format!("{}/trace.json", args.out);
-            let body = codec::trace_to_json(&trace).expect("serialize");
-            std::fs::write(&path, &body).expect("write json");
+            let body = codec::trace_to_json(&trace)?;
+            std::fs::write(&path, &body).map_err(|e| format!("write {path}: {e}"))?;
             eprintln!("wrote {path} ({:.2} MiB)", body.len() as f64 / 1048576.0);
         }
         "csv" => {
+            let trace = generate_fleet(&cfg);
+            trace
+                .validate()
+                .map_err(|e| format!("generated trace must validate: {e}"))?;
+            eprintln!(
+                "generated {} drive-days, {} swaps",
+                trace.total_drive_days(),
+                trace.total_swaps()
+            );
             let rp = format!("{}/reports.csv", args.out);
             let sp = format!("{}/swaps.csv", args.out);
-            let mut rw = BufWriter::new(File::create(&rp).expect("create reports.csv"));
-            csv::write_reports_csv(&trace, &mut rw).expect("write reports");
-            rw.flush().expect("flush");
-            let mut sw = BufWriter::new(File::create(&sp).expect("create swaps.csv"));
-            csv::write_swaps_csv(&trace, &mut sw).expect("write swaps");
-            sw.flush().expect("flush");
+            let mut rw = BufWriter::new(
+                File::create(&rp).map_err(|e| format!("create {rp}: {e}"))?,
+            );
+            csv::write_reports_csv(&trace, &mut rw)?;
+            rw.flush()?;
+            let mut sw = BufWriter::new(
+                File::create(&sp).map_err(|e| format!("create {sp}: {e}"))?,
+            );
+            csv::write_swaps_csv(&trace, &mut sw)?;
+            sw.flush()?;
             eprintln!("wrote {rp} and {sp}");
         }
-        other => {
-            eprintln!("unknown format '{other}' (use bin|json|csv)");
-            std::process::exit(1);
-        }
+        other => return Err(format!("unknown format '{other}' (use bin|json|csv)").into()),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ssdgen: {e}");
+        std::process::exit(1);
     }
 }

@@ -9,11 +9,19 @@
 //! `PATH` may be a `.ssdfs` binary archive, a `.json` export, or a
 //! directory containing `reports.csv` + `swaps.csv` (then `--horizon` is
 //! required, since CSVs do not carry it).
+//!
+//! The default report is a single streaming pass: binary archives are
+//! decoded drive-by-drive through `TraceSource`, folded into a
+//! `SummaryAccumulator`, and never held resident — a multi-GB archive
+//! summarizes at constant memory. `--audit` additionally loads the trace
+//! resident, since the observation audit is a cross-drive analysis.
 
 use ssd_field_study_core::observations::{audit_trace_observations, render_checks};
-use ssd_field_study_core::{characterize, lifecycle};
-use ssd_types::{codec, csv, FleetTrace};
-use std::io::BufReader;
+use ssd_field_study_core::streaming::{StreamSummary, SummaryAccumulator};
+use ssd_types::source::TraceSource;
+use ssd_types::{DriveId, DriveLog, DriveModel};
+
+type BinError = Box<dyn std::error::Error>;
 
 struct Args {
     trace: String,
@@ -21,7 +29,7 @@ struct Args {
     audit: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, BinError> {
     let mut args = Args {
         trace: String::new(),
         horizon: None,
@@ -30,77 +38,87 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--trace" => args.trace = it.next().expect("--trace needs a path"),
+            "--trace" => args.trace = it.next().ok_or("--trace needs a path")?,
             "--horizon" => {
-                args.horizon = Some(it.next().expect("--horizon needs days").parse().expect("days"))
+                args.horizon = Some(
+                    it.next()
+                        .ok_or("--horizon needs days")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
             }
             "--audit" => args.audit = true,
             "--help" | "-h" => {
                 eprintln!("usage: ssdstat --trace PATH [--horizon DAYS] [--audit]");
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other}"),
+            other => return Err(format!("unknown argument {other}").into()),
         }
     }
-    assert!(!args.trace.is_empty(), "--trace is required");
-    args
+    if args.trace.is_empty() {
+        return Err("--trace is required".into());
+    }
+    Ok(args)
 }
 
-fn load(args: &Args) -> FleetTrace {
-    let path = std::path::Path::new(&args.trace);
-    if path.is_dir() {
-        let horizon = args
-            .horizon
-            .expect("--horizon is required for CSV directories");
-        let reports = BufReader::new(
-            std::fs::File::open(path.join("reports.csv")).expect("open reports.csv"),
-        );
-        let swaps =
-            BufReader::new(std::fs::File::open(path.join("swaps.csv")).expect("open swaps.csv"));
-        return csv::read_trace_csv(reports, swaps, horizon).expect("parse csv trace");
-    }
-    match path.extension().and_then(|e| e.to_str()) {
-        Some("json") => {
-            let body = std::fs::read_to_string(path).expect("read json");
-            codec::trace_from_json(&body).expect("parse json trace")
-        }
-        _ => {
-            let bytes = std::fs::read(path).expect("read archive");
-            codec::decode_trace(&bytes).expect("decode archive")
-        }
-    }
-}
-
-fn main() {
-    let args = parse_args();
-    let trace = load(&args);
-    trace.validate().expect("trace invariants");
-
+fn print_summary(s: &StreamSummary, horizon_days: u32) {
     println!("trace summary");
-    println!("  drives:       {}", trace.n_drives());
-    println!("  drive-days:   {}", trace.total_drive_days());
-    println!("  swaps:        {}", trace.total_swaps());
-    println!("  horizon:      {} days", trace.horizon_days);
+    println!("  drives:       {}", s.n_drives);
+    println!("  drive-days:   {}", s.total_drive_days);
+    println!("  swaps:        {}", s.total_swaps);
+    println!("  horizon:      {} days", horizon_days);
     println!();
-    println!("{}", lifecycle::failure_incidence(&trace).table());
-    println!("{}", lifecycle::failure_count_distribution(&trace).table());
-    println!("{}", characterize::error_incidence(&trace).table());
+    println!("{}", s.failure_incidence.table());
+    println!("{}", s.failure_counts.table());
+    println!("{}", s.error_incidence.table());
 
-    let nop = lifecycle::non_operational_ecdf(&trace);
-    if nop.n_finite() > 0 {
-        println!("non-operational period: P(<=1d) {:.2}, P(<=7d) {:.2}", nop.eval(1.0), nop.eval(7.0));
+    if s.non_operational.n_finite() > 0 {
+        println!(
+            "non-operational period: P(<=1d) {:.2}, P(<=7d) {:.2}",
+            s.non_operational.eval(1.0),
+            s.non_operational.eval(7.0)
+        );
     }
-    let rep = lifecycle::time_to_repair_ecdf(&trace);
     println!(
         "repairs never observed to complete: {:.1}%",
-        rep.censored_fraction() * 100.0
+        s.time_to_repair.censored_fraction() * 100.0
     );
+}
+
+fn run() -> Result<(), BinError> {
+    let args = parse_args()?;
+    let source = TraceSource::from_path(&args.trace, args.horizon)?;
+
+    // One streaming pass: validate and fold each drive, holding exactly
+    // one drive resident for binary archives.
+    let mut reader = source.open()?;
+    let horizon_days = reader.horizon_days();
+    let mut acc = SummaryAccumulator::new();
+    let mut drive = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+    while reader.next_drive_into(&mut drive)? {
+        drive
+            .validate()
+            .map_err(|e| format!("trace invariants: {e}"))?;
+        acc.observe(&drive);
+    }
+    print_summary(&acc.finish(), horizon_days);
 
     if args.audit {
         println!();
+        // The audit compares distributions across drives, so it needs the
+        // whole trace resident.
+        let trace = source.load()?;
         let checks = audit_trace_observations(&trace);
         println!("{}", render_checks(&checks));
         let holds = checks.iter().filter(|c| c.holds).count();
         println!("{holds}/{} paper observations hold on this trace", checks.len());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ssdstat: {e}");
+        std::process::exit(1);
     }
 }

@@ -149,3 +149,95 @@ fn repro_rejects_unknown_scale() {
         .expect("spawn repro");
     assert!(!out.status.success(), "bogus scale must fail");
 }
+
+#[test]
+fn repro_runs_experiments_from_an_archived_trace() {
+    let dir = scratch("repro_trace");
+    gen_trace(&dir, "bin");
+    let trace_path = dir.join("trace.ssdfs");
+    let out = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &["--trace", trace_path.to_str().unwrap(), "--scale", "test", "tab3"],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("=== tab3 ==="), "tab3 did not run:\n{stdout}");
+    assert!(stderr.contains("loaded"), "should load, not simulate:\n{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdstat_rejects_truncated_archive_with_nonzero_exit() {
+    let dir = scratch("stat_truncated");
+    gen_trace(&dir, "bin");
+    let bytes = std::fs::read(dir.join("trace.ssdfs")).expect("read archive");
+    let cut_path = dir.join("truncated.ssdfs");
+    std::fs::write(&cut_path, &bytes[..bytes.len() / 2]).expect("write truncated");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ssdstat"))
+        .args(["--trace", cut_path.to_str().unwrap()])
+        .output()
+        .expect("spawn ssdstat");
+    assert!(!out.status.success(), "truncated archive must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unexpected end of input at byte"),
+        "error should name the truncation offset:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdstat_rejects_corrupt_archive_with_nonzero_exit() {
+    let dir = scratch("stat_corrupt");
+    std::fs::create_dir_all(&dir).ok();
+    let bad_path = dir.join("corrupt.ssdfs");
+    std::fs::write(&bad_path, b"this is not an archive at all").expect("write corrupt");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ssdstat"))
+        .args(["--trace", bad_path.to_str().unwrap()])
+        .output()
+        .expect("spawn ssdstat");
+    assert!(!out.status.success(), "corrupt archive must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bad magic"),
+        "error should report the bad header:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_rejects_truncated_archive_with_nonzero_exit() {
+    let dir = scratch("repro_truncated");
+    gen_trace(&dir, "bin");
+    let bytes = std::fs::read(dir.join("trace.ssdfs")).expect("read archive");
+    let cut_path = dir.join("truncated.ssdfs");
+    std::fs::write(&cut_path, &bytes[..bytes.len() - 7]).expect("write truncated");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--trace", cut_path.to_str().unwrap(), "tab3"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "truncated archive must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("repro:"),
+        "error should be reported with the bin name:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdstat_reports_missing_file_path_in_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ssdstat"))
+        .args(["--trace", "/no/such/trace.ssdfs"])
+        .output()
+        .expect("spawn ssdstat");
+    assert!(!out.status.success(), "missing file must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("/no/such/trace.ssdfs"),
+        "error should name the path:\n{stderr}"
+    );
+}

@@ -5,7 +5,8 @@
 use ssd_field_study::core::{build_dataset, ExtractOptions};
 use ssd_field_study::ml::{cross_validate, CvOptions, ForestConfig, Trainer};
 use ssd_field_study::sim::{
-    generate_fleet, generate_fleet_archive, generate_fleet_sequential, SimConfig,
+    generate_fleet, generate_fleet_archive, generate_fleet_archive_to, generate_fleet_sequential,
+    SimConfig,
 };
 use ssd_field_study::types::codec::encode_trace;
 
@@ -68,6 +69,35 @@ fn arena_archive_is_byte_identical_to_baseline_at_every_pool_size() {
             archived, baseline,
             "pool size {n_threads} changed the arena archive"
         );
+    }
+}
+
+#[test]
+fn streamed_archive_is_byte_identical_to_in_memory_at_every_pool_size() {
+    // The Write-sink writer emits waves of chunks as they land; the bytes
+    // on the sink must match the in-memory archive (and therefore the
+    // encode_trace baseline) at every pool size.
+    let cfg = SimConfig {
+        drives_per_model: 50,
+        horizon_days: 1000,
+        seed: 271828,
+    };
+    let baseline = generate_fleet_archive(&cfg);
+    for n_threads in [1, 2, 5] {
+        let pool = ssd_field_study::parallel::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .build()
+            .unwrap();
+        let mut streamed = Vec::new();
+        let stats = pool
+            .install(|| generate_fleet_archive_to(&cfg, &mut streamed))
+            .unwrap();
+        assert_eq!(
+            streamed, baseline,
+            "pool size {n_threads} changed the streamed archive"
+        );
+        assert_eq!(stats.bytes, baseline.len() as u64);
+        assert_eq!(stats.drives, 150);
     }
 }
 
