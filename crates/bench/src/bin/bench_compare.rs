@@ -9,6 +9,8 @@
 //! Exit status is 0 even when ids have only one recorded run — the tool
 //! reports, it does not gate.
 
+#![forbid(unsafe_code)]
+
 use ssd_bench::{bench_history_dir, BenchRunLog};
 
 fn fmt_ns(ns: u64) -> String {

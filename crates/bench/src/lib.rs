@@ -6,6 +6,8 @@
 //! module provides the in-tree Criterion-compatible timing shim the bench
 //! targets link against.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 pub use harness::{

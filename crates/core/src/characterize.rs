@@ -200,11 +200,19 @@ pub fn correlation_matrix(trace: &FleetTrace) -> CorrelationMatrix {
 }
 
 impl CorrelationMatrix {
-    /// Correlation between two named variables.
+    /// Correlation between two named variables, if both are in
+    /// [`CORRELATION_VARS`].
+    pub fn try_get(&self, a: &str, b: &str) -> Option<f64> {
+        let ia = CORRELATION_VARS.iter().position(|&v| v == a)?;
+        let ib = CORRELATION_VARS.iter().position(|&v| v == b)?;
+        Some(self.matrix[ia][ib])
+    }
+
+    /// Correlation between two named variables; NaN for unknown names
+    /// (NaN fails every threshold comparison, so a typo surfaces in the
+    /// acceptance checks instead of panicking).
     pub fn get(&self, a: &str, b: &str) -> f64 {
-        let ia = CORRELATION_VARS.iter().position(|&v| v == a).expect("var a");
-        let ib = CORRELATION_VARS.iter().position(|&v| v == b).expect("var b");
-        self.matrix[ia][ib]
+        self.try_get(a, b).unwrap_or(f64::NAN)
     }
 
     /// Renders the lower triangle as the paper's Table 2.

@@ -71,6 +71,7 @@ pub fn cumulative_error_cdfs(trace: &FleetTrace) -> CumulativeErrorCdfs {
         if v.is_empty() {
             0.0
         } else {
+            // lint:allow(float-determinism) -- exact-zero test on integer-valued counts, not a rounding comparison
             v.iter().filter(|&&x| x == 0.0).count() as f64 / v.len() as f64
         }
     };

@@ -33,6 +33,8 @@
 //! (Figure 2 is the schematic failure timeline; its semantics are the
 //! state machine in [`failure`].)
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod aging;

@@ -176,8 +176,8 @@ pub fn audit_trace_observations(trace: &FleetTrace) -> Vec<ObservationCheck> {
 
     // Obs 11: error incidence rises sharply in the final two days.
     let old_curve = &pre.p_ue_within[1];
-    let final2 = old_curve.points[2].1;
-    let week = old_curve.points.last().unwrap().1;
+    let final2 = old_curve.points.get(2).map_or(0.0, |p| p.1);
+    let week = old_curve.points.last().map_or(0.0, |p| p.1);
     out.push(check(
         11,
         "error incidence increases dramatically in the two days preceding failure",

@@ -12,7 +12,7 @@ use crate::failure::failure_records;
 use crate::features::{build_dataset, ExtractOptions};
 use ssd_ml::Classifier;
 use ssd_types::FleetTrace;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cost model (arbitrary consistent units).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +55,7 @@ pub struct PolicyOutcome {
 impl PolicyOutcome {
     /// Fractional saving vs the reactive baseline (negative = worse).
     pub fn saving(&self) -> f64 {
+        // lint:allow(float-determinism) -- division-by-zero guard; exact zero is the only special case
         if self.reactive_cost == 0.0 {
             0.0
         } else {
@@ -88,9 +89,10 @@ pub fn evaluate_policy(
         .feature_names()
         .iter()
         .position(|n| n == "drive age")
+        // lint:allow(panic-freedom) -- the feature set is built in this crate and always includes "drive age"
         .expect("drive age feature");
 
-    let failed_drives: HashSet<u32> = deploy
+    let failed_drives: BTreeSet<u32> = deploy
         .drives
         .iter()
         .filter(|d| d.ever_failed())
@@ -106,7 +108,7 @@ pub fn evaluate_policy(
         .iter()
         .map(|&threshold| {
             // First-alert age per drive.
-            let mut first_alert: HashMap<u32, f32> = HashMap::new();
+            let mut first_alert: BTreeMap<u32, f32> = BTreeMap::new();
             for i in 0..data.n_rows() {
                 if scores[i] >= threshold {
                     let drive = data.group(i);

@@ -24,7 +24,7 @@ struct HeldOut {
 /// Fits the forest on the complement of fold 0 and scores fold 0.
 fn held_out_scores(data: &ssd_ml::Dataset, config: &PredictConfig) -> HeldOut {
     let folds = grouped_kfold(data, config.cv.k, config.cv.seed);
-    let in_test: std::collections::HashSet<usize> = folds[0].iter().copied().collect();
+    let in_test: std::collections::BTreeSet<usize> = folds[0].iter().copied().collect();
     let train_idx: Vec<usize> = (0..data.n_rows())
         .filter(|i| !in_test.contains(i))
         .collect();
@@ -37,6 +37,7 @@ fn held_out_scores(data: &ssd_ml::Dataset, config: &PredictConfig) -> HeldOut {
         .feature_names()
         .iter()
         .position(|n| n == "drive age")
+        // lint:allow(panic-freedom) -- the feature set is built in this crate and always includes "drive age"
         .expect("drive age feature");
     HeldOut {
         labels: test.labels().to_vec(),

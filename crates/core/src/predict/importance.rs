@@ -40,11 +40,7 @@ pub fn feature_importance(
     trace: &FleetTrace,
     config: &PredictConfig,
 ) -> (ImportanceRanking, ImportanceRanking) {
-    let mut out = Vec::with_capacity(2);
-    for (filter, label) in [
-        (AgeFilter::Young, "Young Drives"),
-        (AgeFilter::Old, "Old Drives"),
-    ] {
+    let rank_for = |filter: AgeFilter, label: &str| {
         let data = build_dataset(
             trace,
             &ExtractOptions {
@@ -59,14 +55,15 @@ pub fn feature_importance(
         let idx = downsample_majority(&data, &all, config.cv.downsample_ratio, config.seed);
         let train = data.select(&idx);
         let forest = RandomForest::fit(&config.forest, &train, config.seed);
-        out.push(ImportanceRanking {
+        ImportanceRanking {
             partition: label.to_string(),
             ranked: forest.ranked_importances(data.feature_names()),
-        });
-    }
-    let old = out.pop().unwrap();
-    let young = out.pop().unwrap();
-    (young, old)
+        }
+    };
+    (
+        rank_for(AgeFilter::Young, "Young Drives"),
+        rank_for(AgeFilter::Old, "Old Drives"),
+    )
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ pub fn per_model_roc(trace: &FleetTrace, config: &PredictConfig) -> Vec<ModelRoc
                 })
                 .unwrap_or(&folds[0]);
             let test = data.select(fold);
-            let in_test: std::collections::HashSet<usize> =
+            let in_test: std::collections::BTreeSet<usize> =
                 fold.iter().copied().collect();
             let train_idx: Vec<usize> = (0..data.n_rows())
                 .filter(|i| !in_test.contains(i))
@@ -139,8 +139,8 @@ fn transfer_all_to(
     test: &ssd_ml::Dataset,
     config: &PredictConfig,
 ) -> f64 {
-    use std::collections::HashSet;
-    let test_drives: HashSet<u32> = test.groups().iter().copied().collect();
+    use std::collections::BTreeSet;
+    let test_drives: BTreeSet<u32> = test.groups().iter().copied().collect();
     let train_idx: Vec<usize> = (0..all.n_rows())
         .filter(|&i| !test_drives.contains(&all.group(i)))
         .collect();

@@ -1,0 +1,10 @@
+//! Fixture: broken allow directives are themselves diagnostics.
+
+// lint:allow(panic-freedom)
+pub fn missing_reason() {}
+
+// lint:allow(no-such-rule) -- looks fine but names nothing
+pub fn unknown_rule() {}
+
+// lint:allow panic-freedom -- reason
+pub fn missing_parens() {}

@@ -1,0 +1,13 @@
+//! Fixture: partial_cmp and float-literal equality must fire.
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn is_half(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn not_tenth(x: f64) -> bool {
+    x != 0.1
+}

@@ -1,0 +1,9 @@
+//! Fixture: total_cmp ordering and integer equality — must not fire.
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn is_three(x: u64) -> bool {
+    x == 3
+}

@@ -1,0 +1,12 @@
+//! Fixture: an allowed hash map (e.g. drained into sorted order).
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, u32)> {
+    // lint:allow(nondeterminism) -- drained into a sorted Vec before return
+    let mut m = std::collections::HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0u32) += 1;
+    }
+    let mut out: Vec<(u32, u32)> = m.into_iter().collect();
+    out.sort_unstable();
+    out
+}

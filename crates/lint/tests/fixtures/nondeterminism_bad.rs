@@ -1,0 +1,20 @@
+//! Fixture: hash collections and wall-clock reads must fire.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+pub fn counts(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    let mut seen = HashSet::new();
+    for &k in keys {
+        if seen.insert(k) {
+            m.insert(k, 1);
+        }
+    }
+    m
+}
+
+pub fn stamp() -> (SystemTime, Instant) {
+    (SystemTime::now(), Instant::now())
+}

@@ -1,0 +1,19 @@
+//! Fixture: BTree collections and no clock reads — must not fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+pub fn counts(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for &k in keys {
+        if seen.insert(k) {
+            m.insert(k, 1);
+        }
+    }
+    m
+}
+
+pub fn fixed_window() -> Duration {
+    Duration::from_secs(1)
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified allow suppresses the diagnostic.
+
+pub fn checked(v: &[u32]) -> u32 {
+    // lint:allow(panic-freedom) -- caller guarantees v is nonempty
+    *v.first().unwrap()
+}

@@ -1,0 +1,18 @@
+//! Fixture: every panicking form the rule must catch.
+
+pub fn first_plus_last(v: &[u32]) -> u32 {
+    let x = v.first().unwrap();
+    let y = v.last().expect("nonempty");
+    if *x > 3 {
+        panic!("boom");
+    }
+    x + y
+}
+
+pub fn unfinished() {
+    todo!()
+}
+
+pub fn also_unfinished() {
+    unimplemented!()
+}

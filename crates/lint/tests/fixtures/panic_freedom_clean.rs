@@ -1,0 +1,12 @@
+//! Fixture: the same logic written with propagation — must not fire.
+
+pub fn first_plus_last(v: &[u32]) -> Option<u32> {
+    let x = v.first()?;
+    let y = v.last()?;
+    Some(x + y)
+}
+
+/// Mentioning unwrap in a doc comment or "unwrap" in a string is fine.
+pub fn red_herrings() -> &'static str {
+    "call .unwrap() and panic!"
+}

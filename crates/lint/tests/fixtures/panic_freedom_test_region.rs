@@ -1,0 +1,16 @@
+//! Fixture: panics inside test regions are exempt.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(double(*v.first().unwrap()), 2);
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: a crate root without the forbid attribute.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the gate.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

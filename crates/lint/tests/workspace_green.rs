@@ -1,0 +1,38 @@
+//! Meta-test: the workspace itself lints clean. This is the standing
+//! gate — any new unwrap, hash map, wall-clock read, non-path dependency,
+//! or missing unsafe gate in scoped library code turns this test red.
+
+use ssd_lint::{lint_workspace, RuleId};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = lint_workspace(workspace_root(), &RuleId::ALL).expect("lint walk");
+    assert!(
+        diags.is_empty(),
+        "ssd-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn single_rule_subsets_are_clean_too() {
+    for rule in RuleId::ALL {
+        let diags = lint_workspace(workspace_root(), &[rule, RuleId::AllowGrammar])
+            .expect("lint walk");
+        assert!(diags.is_empty(), "[{}] {diags:?}", rule.name());
+    }
+}

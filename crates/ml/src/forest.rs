@@ -135,7 +135,7 @@ impl RandomForest {
             .cloned()
             .zip(self.importances.iter().copied())
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 

@@ -46,12 +46,7 @@ pub fn grid_search(
             result: cross_validate(trainer.as_ref(), data, opts),
         })
         .collect();
-    points.sort_by(|a, b| {
-        b.result
-            .mean()
-            .partial_cmp(&a.result.mean())
-            .expect("NaN AUC in grid search")
-    });
+    points.sort_by(|a, b| b.result.mean().total_cmp(&a.result.mean()));
     GridSearchResult { points }
 }
 

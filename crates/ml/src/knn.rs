@@ -57,7 +57,7 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.partial_cmp(&other.dist).unwrap_or(Ordering::Equal)
+        self.dist.total_cmp(&other.dist)
     }
 }
 
@@ -131,6 +131,7 @@ impl Classifier for Knn {
                     pos += w;
                 }
             }
+            // lint:allow(float-determinism) -- division-by-zero guard; weights are strictly positive whenever any neighbour exists
             if total == 0.0 {
                 0.5
             } else {

@@ -16,6 +16,8 @@
 //! All training is deterministic given a seed, and the parallel paths
 //! (forest training, batch prediction) are reduction-order stable.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod calibrate;

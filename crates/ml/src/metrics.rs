@@ -35,11 +35,7 @@ impl RocCurve {
         assert!(n_pos > 0 && n_neg > 0, "ROC needs both classes present");
 
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("NaN score in ROC input")
-        });
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
         let mut points = vec![RocPoint {
             fpr: 0.0,
@@ -99,7 +95,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert!(n_pos > 0 && n_neg > 0, "AUC needs both classes present");
     // Fractional ranks of the scores (average rank for ties).
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
     while i < idx.len() {
@@ -195,7 +191,7 @@ pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
     let n_pos = labels.iter().filter(|&&l| l).count();
     assert!(n_pos > 0, "average precision needs positives");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut tp = 0usize;
     let mut seen = 0usize;
     let mut ap = 0.0;

@@ -14,7 +14,7 @@ pub fn grouped_kfold(data: &Dataset, k: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(k >= 2, "need at least two folds");
     // Collect distinct groups in first-appearance order (deterministic).
     let mut groups: Vec<u32> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for &g in data.groups() {
         if seen.insert(g) {
             groups.push(g);
@@ -32,7 +32,7 @@ pub fn grouped_kfold(data: &Dataset, k: usize, seed: u64) -> Vec<Vec<usize>> {
         let j = rng.next_bounded((i + 1) as u64) as usize;
         groups.swap(i, j);
     }
-    let mut fold_of = std::collections::HashMap::with_capacity(groups.len());
+    let mut fold_of = std::collections::BTreeMap::new();
     for (i, g) in groups.iter().enumerate() {
         fold_of.insert(*g, i % k);
     }
@@ -45,7 +45,7 @@ pub fn grouped_kfold(data: &Dataset, k: usize, seed: u64) -> Vec<Vec<usize>> {
 
 /// Complement of a fold: all row indices not in `fold`.
 pub fn complement(data: &Dataset, fold: &[usize]) -> Vec<usize> {
-    let in_fold: std::collections::HashSet<usize> = fold.iter().copied().collect();
+    let in_fold: std::collections::BTreeSet<usize> = fold.iter().copied().collect();
     (0..data.n_rows()).filter(|i| !in_fold.contains(i)).collect()
 }
 
@@ -108,7 +108,7 @@ mod tests {
         let folds = grouped_kfold(&d, 5, 42);
         let total: usize = folds.iter().map(Vec::len).sum();
         assert_eq!(total, d.n_rows());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for f in &folds {
             for &i in f {
                 assert!(seen.insert(i), "row {i} in two folds");

@@ -52,6 +52,7 @@ pub fn bernoulli(rng: &mut SplitMix64, p: f64) -> bool {
 /// method would need O(lambda) uniforms.
 pub fn poisson(rng: &mut SplitMix64, lambda: f64) -> u64 {
     debug_assert!(lambda >= 0.0);
+    // lint:allow(float-determinism) -- exact-zero fast path; any nonzero lambda takes the sampling branches
     if lambda == 0.0 {
         return 0;
     }
@@ -110,7 +111,7 @@ impl PiecewiseCdf {
                 "anchors must be strictly increasing: {w:?}"
             );
         }
-        let last = anchors.last().unwrap();
+        let last = anchors[anchors.len() - 1];
         assert!(
             (last.1 - 1.0).abs() < 1e-9,
             "final anchor must have cdf = 1.0"
@@ -144,7 +145,9 @@ impl PiecewiseCdf {
                 };
             }
         }
-        self.anchors.last().unwrap().0
+        // Constructor asserts at least two anchors, so `last` exists; fall
+        // back to the final anchor's value when u lands past every segment.
+        self.anchors.last().map_or(f64::NAN, |a| a.0)
     }
 }
 

@@ -169,6 +169,7 @@ pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
     let mut out = Vec::with_capacity(
         64 + config.total_drives() as usize * config.horizon_days as usize * 40,
     );
+    // lint:allow(panic-freedom) -- io::Write into a Vec<u8> is infallible
     generate_fleet_archive_to(config, &mut out).expect("Vec sink cannot fail");
     out
 }

@@ -52,6 +52,8 @@
 //! trace.validate().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod arena;

@@ -6,7 +6,7 @@ use ssd_sim::dist::PiecewiseCdf;
 use ssd_sim::drive::generate_drive;
 use ssd_sim::{generate_fleet, SimConfig};
 use ssd_stats::SplitMix64;
-use ssd_testkit::{for_each_case, Gen};
+use ssd_testkit::for_each_case;
 use ssd_types::{DriveId, DriveModel};
 
 #[test]

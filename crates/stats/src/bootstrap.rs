@@ -55,7 +55,7 @@ where
             statistic(&resample)
         })
         .collect();
-    reps.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap replicate"));
+    reps.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - confidence) / 2.0;
     let lo = crate::quantile::quantile_sorted(&reps, alpha);
     let hi = crate::quantile::quantile_sorted(&reps, 1.0 - alpha);

@@ -30,6 +30,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         sxx += dx * dx;
         syy += dy * dy;
     }
+    // lint:allow(float-determinism) -- degenerate-variance guard; exact zero means a constant input column
     if sxx == 0.0 || syy == 0.0 {
         return f64::NAN;
     }

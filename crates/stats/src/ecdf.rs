@@ -24,7 +24,7 @@ impl Ecdf {
     /// to exceed every finite observation (probability mass at +∞).
     pub fn with_censored(samples: &[f64], censored: u64) -> Self {
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted, censored }
     }
 

@@ -25,6 +25,8 @@
 //! * [`rng`] — a tiny, dependency-free SplitMix64 generator used wherever
 //!   the substrate itself needs randomness (bootstrap resampling).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bootstrap;

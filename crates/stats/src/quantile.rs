@@ -22,7 +22,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Computes the `q`-quantile of an unsorted slice (sorts a copy).
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     quantile_sorted(&v, q)
 }
 
@@ -30,7 +30,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 /// shaded-band statistics of Figure 7.
 pub fn quartiles(values: &[f64]) -> (f64, f64, f64) {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartiles input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     (
         quantile_sorted(&v, 0.25),
         quantile_sorted(&v, 0.50),
@@ -41,7 +41,7 @@ pub fn quartiles(values: &[f64]) -> (f64, f64, f64) {
 /// Computes several quantiles in one sort. `qs` need not be sorted.
 pub fn quantiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantiles input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
 }
 

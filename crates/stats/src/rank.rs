@@ -7,11 +7,7 @@
 pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("NaN in rank input")
-    });
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -36,7 +36,7 @@ impl KaplanMeier {
     /// leave the risk set without contributing an event.
     pub fn fit(durations: &[Duration]) -> Self {
         let mut sorted: Vec<Duration> = durations.to_vec();
-        sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("NaN duration"));
+        sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
         let n_events = sorted.iter().filter(|d| d.event).count();
         let n_censored = sorted.len() - n_events;
 
@@ -109,8 +109,8 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
     while i < sa.len() && j < sb.len() {

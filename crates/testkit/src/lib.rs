@@ -10,6 +10,8 @@
 //! so every run — local or CI — exercises the identical inputs. A failing
 //! case can be replayed directly with [`Gen::from_seed`].
 
+#![forbid(unsafe_code)]
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// SplitMix64 PRNG step (public-domain constants; same generator the

@@ -903,7 +903,7 @@ impl TraceEncoder<Vec<u8>> {
     /// bytes to avoid reallocation on large archives.
     pub fn with_capacity(horizon_days: u32, n_drives: u64, bytes_hint: usize) -> Self {
         let sink = Vec::with_capacity(bytes_hint.max(64));
-        // Writes to a Vec are infallible.
+        // lint:allow(panic-freedom) -- io::Write into a Vec<u8> is infallible
         TraceEncoder::to_sink(sink, horizon_days, n_drives).expect("Vec sink cannot fail")
     }
 
@@ -931,6 +931,7 @@ pub fn encode_trace(trace: &FleetTrace) -> Vec<u8> {
         64 + trace.total_drive_days() * 40,
     );
     for d in &trace.drives {
+        // lint:allow(panic-freedom) -- io::Write into a Vec<u8> is infallible
         enc.append_drive(d).expect("Vec sink cannot fail");
     }
     enc.finish()

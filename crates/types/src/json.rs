@@ -78,19 +78,46 @@ impl Value {
     }
 }
 
+/// Maximum nesting depth [`parse`] accepts before returning
+/// [`JsonError::TooDeep`]. Deep enough for any document this workspace
+/// produces, shallow enough that adversarial input cannot overflow the
+/// parser's recursion stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Error produced by parsing or by [`FromJson`] conversions.
 #[derive(Debug, Clone, PartialEq)]
-pub struct JsonError(pub String);
+pub enum JsonError {
+    /// Malformed document or failed conversion, with a human-readable
+    /// message (parse errors carry a byte position).
+    Msg(String),
+    /// Nesting exceeded [`MAX_DEPTH`] at the given byte offset; returned
+    /// instead of overflowing the recursion stack on adversarial input.
+    TooDeep {
+        /// Byte offset where one nesting level too many opened.
+        at: usize,
+    },
+}
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json error: {}", self.0)
+        match self {
+            JsonError::Msg(m) => write!(f, "json error: {m}"),
+            JsonError::TooDeep { at } => write!(
+                f,
+                "json error: nesting deeper than {MAX_DEPTH} levels at byte {at}"
+            ),
+        }
     }
 }
 
 impl std::error::Error for JsonError {}
 
 impl JsonError {
+    /// Message-carrying error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError::Msg(message.into())
+    }
+
     /// Conversion-failure error: expected `what`, found `v`.
     pub fn expected(what: &str, v: &Value) -> Self {
         let found = match v {
@@ -103,7 +130,7 @@ impl JsonError {
             Value::Arr(a) => format!("array of {} items", a.len()),
             Value::Obj(o) => format!("object with {} members", o.len()),
         };
-        JsonError(format!("expected {what}, found {found}"))
+        JsonError::msg(format!("expected {what}, found {found}"))
     }
 }
 
@@ -262,7 +289,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError(format!("{msg} at byte {}", self.pos))
+        JsonError::msg(format!("{msg} at byte {}", self.pos))
     }
 
     fn peek(&self) -> Option<u8> {
@@ -283,7 +310,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.bump() == Some(b) {
             Ok(())
         } else {
@@ -301,11 +328,14 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Value, JsonError> {
+    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
         self.skip_ws();
+        if depth >= MAX_DEPTH {
+            return Err(JsonError::TooDeep { at: self.pos });
+        }
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
             Some(b'"') => Ok(Value::Str(self.parse_string()?)),
             Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
             Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
@@ -316,8 +346,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+    fn parse_object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -328,8 +358,8 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
-            let value = self.parse_value()?;
+            self.expect_byte(b':')?;
+            let value = self.parse_value(depth + 1)?;
             members.push((key, value));
             self.skip_ws();
             match self.bump() {
@@ -343,8 +373,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+    fn parse_array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -352,7 +382,7 @@ impl<'a> Parser<'a> {
             return Ok(Value::Arr(items));
         }
         loop {
-            items.push(self.parse_value()?);
+            items.push(self.parse_value(depth + 1)?);
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
@@ -366,7 +396,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -385,8 +415,8 @@ impl<'a> Parser<'a> {
                         let hi = self.parse_hex4()?;
                         let c = if (0xD800..0xDC00).contains(&hi) {
                             // Surrogate pair: require a trailing \uXXXX.
-                            self.expect(b'\\')?;
-                            self.expect(b'u')?;
+                            self.expect_byte(b'\\')?;
+                            self.expect_byte(b'u')?;
                             let lo = self.parse_hex4()?;
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return Err(self.err("invalid low surrogate"));
@@ -463,7 +493,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number chars are ascii");
+            .map_err(|_| JsonError::msg(format!("invalid number at byte {start}")))?;
         if !is_float {
             // Integer fidelity: keep u64/i64 exact when they fit.
             if let Some(stripped) = text.strip_prefix('-') {
@@ -478,14 +508,14 @@ impl<'a> Parser<'a> {
         }
         text.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| JsonError(format!("invalid number {text:?} at byte {start}")))
+            .map_err(|_| JsonError::msg(format!("invalid number {text:?} at byte {start}")))
     }
 }
 
 /// Parse a JSON string into the document model.
 pub fn parse(input: &str) -> Result<Value, JsonError> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
-    let v = p.parse_value()?;
+    let v = p.parse_value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing characters after document"));
@@ -512,7 +542,7 @@ macro_rules! impl_json_uint {
         impl FromJson for $t {
             fn from_json(v: &Value) -> Result<Self, JsonError> {
                 let u = v.as_u64().ok_or_else(|| JsonError::expected(stringify!($t), v))?;
-                <$t>::try_from(u).map_err(|_| JsonError(format!(
+                <$t>::try_from(u).map_err(|_| JsonError::msg(format!(
                     "{u} out of range for {}", stringify!($t)
                 )))
             }
@@ -537,7 +567,7 @@ impl FromJson for i64 {
         match *v {
             Value::Int(i) => Ok(i),
             Value::UInt(u) => {
-                i64::try_from(u).map_err(|_| JsonError(format!("{u} out of range for i64")))
+                i64::try_from(u).map_err(|_| JsonError::msg(format!("{u} out of range for i64")))
             }
             _ => Err(JsonError::expected("i64", v)),
         }
@@ -646,7 +676,7 @@ impl<T: FromJson, const N: usize> FromJson for [T; N] {
         let n = items.len();
         items
             .try_into()
-            .map_err(|_| JsonError(format!("expected array of {N} items, found {n}")))
+            .map_err(|_| JsonError::msg(format!("expected array of {N} items, found {n}")))
     }
 }
 
@@ -678,8 +708,11 @@ impl_json_tuple!(4; A.0, B.1, C.2, D.3);
 pub fn field<T: FromJson>(v: &Value, name: &str) -> Result<T, JsonError> {
     let member = v
         .get(name)
-        .ok_or_else(|| JsonError(format!("missing field {name:?}")))?;
-    T::from_json(member).map_err(|JsonError(m)| JsonError(format!("field {name:?}: {m}")))
+        .ok_or_else(|| JsonError::msg(format!("missing field {name:?}")))?;
+    T::from_json(member).map_err(|e| match e {
+        JsonError::Msg(m) => JsonError::msg(format!("field {name:?}: {m}")),
+        other => other,
+    })
 }
 
 /// Implement [`ToJson`]/[`FromJson`] for a named-field struct, mapping it

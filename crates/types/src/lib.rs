@@ -36,6 +36,8 @@
 //! * [`json`] — minimal JSON writer/parser and conversion traits (the
 //!   workspace builds offline, so this replaces `serde`/`serde_json`).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod codec;

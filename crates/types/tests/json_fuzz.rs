@@ -1,0 +1,206 @@
+//! Fuzz-style tests for the JSON parser: the recursion-depth cap, random
+//! well-formed documents, and random byte-level mutations of well-formed
+//! documents. The parser must never panic — every input yields `Ok` or a
+//! typed [`JsonError`].
+
+use ssd_testkit::{for_each_case, Gen};
+use ssd_types::json::{self, JsonError, Value, MAX_DEPTH};
+
+/// Builds a document of exactly `depth` nested arrays around a number.
+fn nested_arrays(depth: usize) -> String {
+    let mut s = String::with_capacity(2 * depth + 1);
+    for _ in 0..depth {
+        s.push('[');
+    }
+    s.push('1');
+    for _ in 0..depth {
+        s.push(']');
+    }
+    s
+}
+
+/// Same, but alternating objects and arrays: `{"k":[{"k":[...]}]}`.
+fn nested_mixed(depth: usize) -> String {
+    let mut s = String::new();
+    for i in 0..depth {
+        if i % 2 == 0 {
+            s.push_str("{\"k\":");
+        } else {
+            s.push('[');
+        }
+    }
+    s.push_str("null");
+    for i in (0..depth).rev() {
+        if i % 2 == 0 {
+            s.push('}');
+        } else {
+            s.push(']');
+        }
+    }
+    s
+}
+
+#[test]
+fn depth_cap_accepts_shallow_rejects_deep() {
+    // Just under the cap parses; the cap itself is the first rejected depth.
+    assert!(json::parse(&nested_arrays(MAX_DEPTH - 1)).is_ok());
+    match json::parse(&nested_arrays(MAX_DEPTH)) {
+        Err(JsonError::TooDeep { .. }) => {}
+        other => panic!("expected TooDeep, got {other:?}"),
+    }
+    // Far past the cap must fail the same typed way, without overflowing
+    // the real call stack.
+    match json::parse(&nested_arrays(100_000)) {
+        Err(JsonError::TooDeep { .. }) => {}
+        other => panic!("expected TooDeep, got {other:?}"),
+    }
+    assert!(json::parse(&nested_mixed(MAX_DEPTH - 1)).is_ok());
+    assert!(matches!(
+        json::parse(&nested_mixed(MAX_DEPTH + 7)),
+        Err(JsonError::TooDeep { .. })
+    ));
+}
+
+#[test]
+fn too_deep_reports_position() {
+    let doc = nested_arrays(MAX_DEPTH + 3);
+    let Err(JsonError::TooDeep { at }) = json::parse(&doc) else {
+        panic!("expected TooDeep");
+    };
+    // The cap fires while scanning the opening brackets.
+    assert!(at <= MAX_DEPTH + 3, "position {at} past the bracket run");
+}
+
+/// Generates a random well-formed JSON document (bounded depth/width).
+fn arb_json(g: &mut Gen, depth: usize, out: &mut String) {
+    let pick = if depth == 0 { g.usize_in(0, 5) } else { g.usize_in(0, 7) };
+    match pick {
+        0 => out.push_str("null"),
+        1 => out.push_str(if g.bool() { "true" } else { "false" }),
+        2 => {
+            let n = g.u64_in(0, 1_000_000_000);
+            if g.bool() {
+                out.push('-');
+            }
+            out.push_str(&n.to_string());
+            if g.bool() {
+                out.push('.');
+                out.push_str(&g.u64_in(0, 999).to_string());
+            }
+        }
+        3 | 4 => {
+            out.push('"');
+            for _ in 0..g.usize_in(0, 8) {
+                match g.usize_in(0, 5) {
+                    0 => out.push_str("\\\""),
+                    1 => out.push_str("\\\\"),
+                    2 => out.push_str("\\u00e9"),
+                    3 => out.push('é'),
+                    _ => out.push((b'a' + g.u32_in(0, 26) as u8) as char),
+                }
+            }
+            out.push('"');
+        }
+        5 => {
+            out.push('[');
+            let n = g.usize_in(0, 4);
+            for i in 0..n {
+                if i > 0 {
+                    out.push(',');
+                }
+                arb_json(g, depth - 1, out);
+            }
+            out.push(']');
+        }
+        _ => {
+            out.push('{');
+            let n = g.usize_in(0, 4);
+            for i in 0..n {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push((b'a' + i as u8) as char);
+                out.push_str("\":");
+                arb_json(g, depth - 1, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[test]
+fn random_documents_round_trip() {
+    for_each_case("json_random_documents", 400, |g| {
+        let mut doc = String::new();
+        arb_json(g, 4, &mut doc);
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("{doc:?}: {e}"));
+        // Render and reparse: the value survives its own serialization.
+        let rendered = render(&v);
+        let v2 = json::parse(&rendered).unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
+        assert_eq!(render(&v2), rendered, "render not a fixed point for {doc:?}");
+    });
+}
+
+/// Minimal renderer over the parsed tree (string escapes kept simple: the
+/// generator only emits quote, backslash, and printable characters).
+fn render(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::UInt(n) => n.to_string(),
+        Value::Float(n) => format!("{n}"),
+        Value::Str(s) => {
+            let mut out = String::from("\"");
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{}", render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[test]
+fn mutated_documents_never_panic() {
+    for_each_case("json_mutations", 600, |g| {
+        let mut doc = String::new();
+        arb_json(g, 4, &mut doc);
+        let mut bytes = doc.into_bytes();
+        // Apply 1–4 random byte mutations: overwrite, insert, or delete.
+        for _ in 0..g.usize_in(1, 5) {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = g.usize_in(0, bytes.len());
+            match g.usize_in(0, 3) {
+                0 => bytes[i] = g.u32_in(0, 256) as u8,
+                1 => bytes.insert(i, *g.choose(b"[]{}\",:truefalsenull0123456789\\ ")),
+                _ => {
+                    bytes.remove(i);
+                }
+            }
+        }
+        // Whatever came out — valid UTF-8 or not, valid JSON or not — the
+        // parser must return, not panic.
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = json::parse(&s);
+        }
+    });
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the in-tree static analyzer over the workspace. Exit codes:
+#   0  clean
+#   1  violations (printed as file:line: [rule] message)
+#   2  usage or I/O error
+#
+#   scripts/lint.sh                    # all rules
+#   scripts/lint.sh --rule hermeticity # one rule family
+#   scripts/lint.sh --list-rules      # what is enforced
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --offline --release -p ssd-lint -- --root . "$@"

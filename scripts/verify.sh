@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== offline build (debug) =="
 cargo build --offline
 
+echo "== static analysis: ssd-lint (all rules) =="
+scripts/lint.sh
+
 echo "== tier-1: release build =="
 cargo build --release --offline
 

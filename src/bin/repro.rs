@@ -13,6 +13,8 @@
 //! directory (`--horizon` required for CSV) instead of simulated, so the
 //! paper's analyses run against real field data in this tool's schema.
 
+#![forbid(unsafe_code)]
+
 use ssd_field_study_core::predict::{
     age_analysis, error_pred, importance, models, per_model, sweep,
 };

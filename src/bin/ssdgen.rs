@@ -11,6 +11,8 @@
 //! * `json` — `trace.json`, for ad-hoc tooling;
 //! * `csv`  — `reports.csv` + `swaps.csv`, for pandas/R.
 
+#![forbid(unsafe_code)]
+
 use ssd_sim::{generate_fleet, generate_fleet_archive_to, SimConfig};
 use ssd_types::{codec, csv};
 use std::fs::File;

@@ -16,6 +16,8 @@
 //! summarizes at constant memory. `--audit` additionally loads the trace
 //! resident, since the observation audit is a cross-drive analysis.
 
+#![forbid(unsafe_code)]
+
 use ssd_field_study_core::observations::{audit_trace_observations, render_checks};
 use ssd_field_study_core::streaming::{StreamSummary, SummaryAccumulator};
 use ssd_types::source::TraceSource;

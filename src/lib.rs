@@ -1,4 +1,6 @@
 //! Umbrella crate re-exporting the whole `ssd-field-study` workspace.
+
+#![forbid(unsafe_code)]
 pub use ssd_field_study_core as core;
 pub use ssd_ml as ml;
 pub use ssd_parallel as parallel;

@@ -1,156 +1,27 @@
-//! Hermetic-build guard: the workspace must never depend on an external
-//! (registry) crate. The build environment has no reachable crate
-//! registry, so any non-`path` dependency makes the whole workspace
-//! unbuildable — this test fails fast, in-tree, with a pointer to the
-//! offending manifest line instead of a cargo resolution error.
+//! Hermetic-build guard, thin edition: the manifest-parsing logic now
+//! lives in `ssd-lint`'s hermeticity rule (crates/lint/src/rules.rs),
+//! where it is fixture-tested and shared with the CLI. This test keeps
+//! the guard wired into the root `cargo test` tier so a non-path
+//! dependency still fails fast with the offending manifest line.
+//!
+//! Equivalent from the command line: `ssd-lint --rule hermeticity`.
 
-use std::path::{Path, PathBuf};
+use ssd_lint::{lint_workspace, RuleId};
+use std::path::Path;
 
-fn workspace_root() -> PathBuf {
+#[test]
+fn all_dependencies_resolve_in_tree() {
     // CARGO_MANIFEST_DIR of this package is the workspace root.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-}
-
-fn manifests() -> Vec<PathBuf> {
-    let root = workspace_root();
-    let mut out = vec![root.join("Cargo.toml")];
-    let crates = root.join("crates");
-    for entry in std::fs::read_dir(&crates).expect("read crates/") {
-        let path = entry.expect("dir entry").path().join("Cargo.toml");
-        if path.is_file() {
-            out.push(path);
-        }
-    }
-    assert!(out.len() >= 8, "expected root + 7 crate manifests, found {}", out.len());
-    out
-}
-
-/// True for section headers naming a dependency table, including
-/// `[workspace.dependencies]`, `[dev-dependencies]`, target-specific
-/// tables, and dotted single-dependency tables like `[dependencies.foo]`.
-fn is_dependency_section(header: &str) -> bool {
-    let h = header.trim_matches(['[', ']']);
-    h == "workspace.dependencies"
-        || h.split('.').any(|part| {
-            part == "dependencies" || part == "dev-dependencies" || part == "build-dependencies"
-        })
-}
-
-/// A dependency entry is hermetic iff its value declares a `path` source
-/// or inherits one from the workspace table (`workspace = true`).
-fn entry_is_hermetic(value: &str) -> bool {
-    value.contains("path") || value.replace(' ', "").contains("workspace=true")
-}
-
-fn check_manifest(path: &Path, violations: &mut Vec<String>) {
-    let text = std::fs::read_to_string(path).expect("read manifest");
-    let mut in_dep_section = false;
-    // For `[dependencies.foo]`-style tables the keys themselves (version,
-    // path, ...) span following lines; collect them and judge at the end.
-    let mut dotted: Option<(String, String)> = None;
-    let flush_dotted = |dotted: &mut Option<(String, String)>, violations: &mut Vec<String>| {
-        if let Some((header, body)) = dotted.take() {
-            if !entry_is_hermetic(&body) {
-                violations.push(format!("{}: {header} is not a path dependency", path.display()));
-            }
-        }
-    };
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line.starts_with('[') {
-            flush_dotted(&mut dotted, violations);
-            in_dep_section = is_dependency_section(line);
-            if in_dep_section && line.trim_matches(['[', ']']).split('.').count() > 1
-                && !line.contains("workspace.dependencies")
-                && line.trim_matches(['[', ']']).split('.').last() != Some("dependencies")
-                && line.trim_matches(['[', ']']).split('.').last() != Some("dev-dependencies")
-                && line.trim_matches(['[', ']']).split('.').last() != Some("build-dependencies")
-            {
-                // e.g. [dev-dependencies.serde_json]
-                dotted = Some((line.to_string(), String::new()));
-            }
-            continue;
-        }
-        if !in_dep_section {
-            continue;
-        }
-        if let Some((_, body)) = dotted.as_mut() {
-            body.push_str(line);
-            body.push('\n');
-            continue;
-        }
-        let Some((name, value)) = line.split_once('=') else {
-            continue;
-        };
-        // Dotted-key form: `ssd-types.workspace = true`.
-        let inherits = name.trim().ends_with(".workspace") && value.trim() == "true";
-        if !inherits && !entry_is_hermetic(value) {
-            violations.push(format!(
-                "{}: dependency `{}` = {} is not a path/workspace dependency",
-                path.display(),
-                name.trim(),
-                value.trim()
-            ));
-        }
-    }
-    flush_dotted(&mut dotted, violations);
-}
-
-#[test]
-fn all_dependencies_are_workspace_internal() {
-    let mut violations = Vec::new();
-    for manifest in manifests() {
-        check_manifest(&manifest, &mut violations);
-    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = lint_workspace(root, &[RuleId::Hermeticity, RuleId::AllowGrammar])
+        .expect("lint walk");
     assert!(
-        violations.is_empty(),
-        "non-hermetic dependencies found (the build environment has no crate \
-         registry; use an in-tree substrate instead — see README \"Offline \
-         build\"):\n{}",
-        violations.join("\n")
+        diags.is_empty(),
+        "non-hermetic dependencies:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     );
-}
-
-#[test]
-fn workspace_dependency_table_only_lists_path_crates() {
-    let text = std::fs::read_to_string(workspace_root().join("Cargo.toml")).expect("root manifest");
-    let mut in_table = false;
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.starts_with('[') {
-            in_table = line == "[workspace.dependencies]";
-            continue;
-        }
-        if in_table && line.contains('=') {
-            assert!(
-                line.contains("path"),
-                "[workspace.dependencies] entry without a path source: {line}"
-            );
-        }
-    }
-}
-
-#[test]
-fn known_external_crates_are_absent() {
-    // The crates the seed depended on before the in-tree substrates; their
-    // reappearance in any manifest is the most likely regression.
-    let banned = ["rayon", "serde", "serde_json", "bytes", "proptest", "criterion"];
-    for manifest in manifests() {
-        let text = std::fs::read_to_string(&manifest).expect("read manifest");
-        for raw in text.lines() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            let Some((name, _)) = line.split_once('=') else {
-                continue;
-            };
-            let name = name.trim().trim_matches('"');
-            assert!(
-                !banned.contains(&name),
-                "{}: banned external crate `{name}` reintroduced",
-                manifest.display()
-            );
-        }
-    }
 }
