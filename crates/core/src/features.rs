@@ -12,7 +12,8 @@
 use crate::failure::failure_records;
 use ssd_ml::Dataset;
 use ssd_stats::SplitMix64;
-use ssd_types::{DriveLog, DriveModel, ErrorKind, FleetTrace, INFANCY_DAYS};
+use ssd_types::source::{TraceReadError, TraceReader};
+use ssd_types::{DailyReport, DriveId, DriveLog, DriveModel, ErrorKind, FleetTrace, INFANCY_DAYS};
 
 /// Number of features per row.
 pub const N_FEATURES: usize = 31;
@@ -114,13 +115,67 @@ impl Default for ExtractOptions {
     }
 }
 
-/// Per-drive cumulative state carried across the day scan.
-#[derive(Default, Clone)]
-struct Cumulative {
+/// Incremental per-drive feature state: the cumulative counters that,
+/// together with one day's [`DailyReport`], determine that day's
+/// 31-column feature row.
+///
+/// This is the single definition of the paper's rolling feature set.
+/// [`build_dataset`] folds it over each drive's history offline;
+/// `predict::online::OnlineFleet` folds the *same* state drive-day by
+/// drive-day as telemetry streams in, so online and offline feature
+/// vectors are equal by construction (pinned by
+/// `tests/online_predict.rs`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RollingFeatures {
     read: u64,
     write: u64,
     erase: u64,
     errors: [u64; ErrorKind::COUNT],
+}
+
+impl RollingFeatures {
+    /// Fresh state for a drive with no observed history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one day's report into the cumulative counters. Call once per
+    /// report, in age order, *before* [`write_row`](Self::write_row) for
+    /// that day — cumulative columns include the current day, matching
+    /// the offline scan.
+    pub fn accumulate(&mut self, r: &DailyReport) {
+        self.read += r.read_ops;
+        self.write += r.write_ops;
+        self.erase += r.erase_ops;
+        for (k, c) in r.errors.iter() {
+            self.errors[k.index()] += c;
+        }
+    }
+
+    /// Writes the day's feature row (all [`N_FEATURES`] columns — the
+    /// buffer may be reused across days without clearing). Panics unless
+    /// `row` is exactly [`N_FEATURES`] wide.
+    pub fn write_row(&self, r: &DailyReport, row: &mut [f32]) {
+        assert_eq!(row.len(), N_FEATURES, "feature row has a fixed width");
+        row[0] = r.read_ops as f32;
+        row[1] = r.write_ops as f32;
+        row[2] = r.erase_ops as f32;
+        for (k, c) in r.errors.iter() {
+            row[3 + k.index()] = c as f32;
+        }
+        row[13] = f32::from(u8::from(r.status_read_only));
+        row[14] = self.read as f32;
+        row[15] = self.write as f32;
+        row[16] = self.erase as f32;
+        for (i, &c) in self.errors.iter().enumerate() {
+            row[17 + i] = c as f32;
+        }
+        row[27] = r.pe_cycles as f32;
+        row[28] = r.bad_blocks() as f32;
+        row[29] = r.age_days as f32;
+        row[30] =
+            self.errors[ErrorKind::Correctable.index()] as f32 / (self.read.max(1) as f32);
+    }
 }
 
 /// Computes the label for the report at index `ri` of `log`.
@@ -150,70 +205,82 @@ fn label_for(
     }
 }
 
-/// Builds a labeled dataset from a fleet trace.
-///
-/// Rows are emitted in (drive, day) order; groups carry the drive ID for
-/// grouped cross-validation. Deterministic for fixed options.
-pub fn build_dataset(trace: &FleetTrace, opts: &ExtractOptions) -> Dataset {
+/// Panics on degenerate extraction options; shared by every entry point.
+fn validate_options(opts: &ExtractOptions) {
     assert!(opts.lookahead_days >= 1, "lookahead must be at least 1 day");
     assert!(
         (0.0..=1.0).contains(&opts.negative_sample_rate) && opts.negative_sample_rate > 0.0,
         "negative sample rate must be in (0, 1]"
     );
+}
+
+/// Emits one drive's labeled rows into `data`; `row` is reusable scratch.
+/// Labels need the drive's full history (lookahead), so this is the unit
+/// of work for both the resident and streaming builders.
+fn extract_drive(log: &DriveLog, opts: &ExtractOptions, row: &mut [f32], data: &mut Dataset) {
+    if let Some(m) = opts.model {
+        if log.model != m {
+            return;
+        }
+    }
+    let fail_days: Vec<u32> = failure_records(log).iter().map(|f| f.fail_day).collect();
+    // One deterministic sampling stream per drive: row retention does
+    // not depend on which other drives are in the trace.
+    let mut sampler = SplitMix64::for_stream(opts.seed, u64::from(log.id.0));
+    let mut cum = RollingFeatures::new();
+    for ri in 0..log.reports.len() {
+        let r = &log.reports[ri];
+        cum.accumulate(r);
+        if !opts.age_filter.accepts(r.age_days) {
+            continue;
+        }
+        let label = label_for(log, ri, &fail_days, opts);
+        // Sample negatives; always advance the RNG so retention of a
+        // given day is independent of the label definition.
+        let keep_draw = sampler.next_f64();
+        if !label && keep_draw >= opts.negative_sample_rate {
+            continue;
+        }
+        cum.write_row(r, row);
+        data.push_row(row, label, log.id.0);
+    }
+}
+
+/// Builds a labeled dataset from a fleet trace.
+///
+/// Rows are emitted in (drive, day) order; groups carry the drive ID for
+/// grouped cross-validation. Deterministic for fixed options.
+pub fn build_dataset(trace: &FleetTrace, opts: &ExtractOptions) -> Dataset {
+    validate_options(opts);
     let mut data = Dataset::new(feature_names());
     let mut row = vec![0f32; N_FEATURES];
     for log in &trace.drives {
-        if let Some(m) = opts.model {
-            if log.model != m {
-                continue;
-            }
-        }
-        let fail_days: Vec<u32> = failure_records(log).iter().map(|f| f.fail_day).collect();
-        // One deterministic sampling stream per drive: row retention does
-        // not depend on which other drives are in the trace.
-        let mut sampler = SplitMix64::for_stream(opts.seed, u64::from(log.id.0));
-        let mut cum = Cumulative::default();
-        for ri in 0..log.reports.len() {
-            let r = &log.reports[ri];
-            cum.read += r.read_ops;
-            cum.write += r.write_ops;
-            cum.erase += r.erase_ops;
-            for (k, c) in r.errors.iter() {
-                cum.errors[k.index()] += c;
-            }
-            if !opts.age_filter.accepts(r.age_days) {
-                continue;
-            }
-            let label = label_for(log, ri, &fail_days, opts);
-            // Sample negatives; always advance the RNG so retention of a
-            // given day is independent of the label definition.
-            let keep_draw = sampler.next_f64();
-            if !label && keep_draw >= opts.negative_sample_rate {
-                continue;
-            }
-
-            row[0] = r.read_ops as f32;
-            row[1] = r.write_ops as f32;
-            row[2] = r.erase_ops as f32;
-            for (k, c) in r.errors.iter() {
-                row[3 + k.index()] = c as f32;
-            }
-            row[13] = f32::from(u8::from(r.status_read_only));
-            row[14] = cum.read as f32;
-            row[15] = cum.write as f32;
-            row[16] = cum.erase as f32;
-            for (i, &c) in cum.errors.iter().enumerate() {
-                row[17 + i] = c as f32;
-            }
-            row[27] = r.pe_cycles as f32;
-            row[28] = r.bad_blocks() as f32;
-            row[29] = r.age_days as f32;
-            row[30] = cum.errors[ErrorKind::Correctable.index()] as f32
-                / (cum.read.max(1) as f32);
-            data.push_row(&row, label, log.id.0);
-        }
+        extract_drive(log, opts, &mut row, &mut data);
     }
     data
+}
+
+/// Builds the same dataset as [`build_dataset`] from an opened
+/// [`TraceReader`], holding one drive resident at a time — archives never
+/// materialize a [`FleetTrace`]. Each drive is validated before
+/// extraction, so corrupt-but-decodable input surfaces as a typed error
+/// instead of garbage rows.
+///
+/// Equivalence with the resident path over the same trace is pinned by
+/// `tests/online_predict.rs`.
+pub fn build_dataset_streaming(
+    reader: &mut TraceReader<'_>,
+    opts: &ExtractOptions,
+) -> Result<Dataset, TraceReadError> {
+    validate_options(opts);
+    let mut data = Dataset::new(feature_names());
+    let mut row = vec![0f32; N_FEATURES];
+    let mut log = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+    while reader.next_drive_into(&mut log)? {
+        log.validate().map_err(TraceReadError::Invalid)?;
+        extract_drive(&log, opts, &mut row, &mut data);
+    }
+    Ok(data)
 }
 
 #[cfg(test)]

@@ -53,7 +53,11 @@ pub mod streaming;
 
 pub use drift::{drift_report, DriftCheck, DriftReport};
 pub use failure::{failure_records, operational_periods, FailureRecord, OperationalPeriod};
-pub use features::{build_dataset, feature_names, AgeFilter, ExtractOptions, LabelKind};
+pub use features::{
+    build_dataset, build_dataset_streaming, feature_names, AgeFilter, ExtractOptions, LabelKind,
+    RollingFeatures,
+};
+pub use predict::online::OnlineFleet;
 pub use observations::{audit_model_observations, audit_trace_observations, ObservationCheck};
 pub use policy::{evaluate_policy, PolicyCosts, PolicyOutcome};
 pub use predict::PredictConfig;

@@ -6,6 +6,7 @@ pub mod age_analysis;
 pub mod error_pred;
 pub mod importance;
 pub mod models;
+pub mod online;
 pub mod per_model;
 pub mod sweep;
 

@@ -143,6 +143,12 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted trees in ensemble order, for [`crate::flat`]'s
+    /// flattening pass.
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
 }
 
 impl Classifier for RandomForest {

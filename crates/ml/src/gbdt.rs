@@ -76,7 +76,7 @@ impl GbdtConfig {
 
 /// One node of the internal regression tree.
 #[derive(Debug, Clone, Copy)]
-enum RegNode {
+pub(crate) enum RegNode {
     Split {
         feature: u16,
         threshold: f32,
@@ -90,7 +90,7 @@ enum RegNode {
 
 /// A regression tree fitted to (gradient, hessian) pairs with Newton leaf
 /// values `−Σg / (Σh + λ)`.
-struct RegTree {
+pub(crate) struct RegTree {
     nodes: Vec<RegNode>,
 }
 
@@ -197,6 +197,11 @@ impl<'a> RegBuilder<'a> {
 }
 
 impl RegTree {
+    /// The pre-order node table, for [`crate::flat`]'s flattening pass.
+    pub(crate) fn nodes(&self) -> &[RegNode] {
+        &self.nodes
+    }
+
     fn predict(&self, row: &[f32]) -> f64 {
         let mut id = 0u32;
         loop {
@@ -292,6 +297,21 @@ impl Gbdt {
     /// Number of boosting rounds performed.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The fitted prior log-odds, for [`crate::flat`].
+    pub(crate) fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// The shrinkage applied per round, for [`crate::flat`].
+    pub(crate) fn shrinkage(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The boosting rounds in fit order, for [`crate::flat`].
+    pub(crate) fn reg_trees(&self) -> &[RegTree] {
+        &self.trees
     }
 }
 

@@ -24,6 +24,7 @@ pub mod calibrate;
 pub mod classifier;
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod gbdt;
 pub mod gridsearch;
@@ -43,6 +44,7 @@ pub use naive_bayes::{NaiveBayes, NaiveBayesConfig};
 pub use permutation::permutation_importance;
 pub use cv::{cross_validate, train_test_auc, CvOptions, CvResult};
 pub use dataset::{Dataset, Scaler};
+pub use flat::{BatchScorer, FlatForest, FlatGbdt};
 pub use forest::{ForestConfig, RandomForest};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use gridsearch::{grid_search, GridSearchResult};

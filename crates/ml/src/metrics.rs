@@ -88,6 +88,16 @@ impl RocCurve {
 /// ROC AUC via the rank-sum (Mann–Whitney) identity with tie correction —
 /// O(n log n) and exactly equal to trapezoidal integration of the tied
 /// ROC curve. Preferred when the curve itself is not needed.
+///
+/// Tie convention: every member of a tie group receives the group's
+/// *midrank* — the average of the ranks the group spans — so a tie
+/// between a positive and a negative counts as half a concordant pair.
+/// This is the standard Mann–Whitney treatment (scikit-learn and R's
+/// pROC agree): a degenerate scorer that emits one constant score for
+/// everything gets AUC exactly 0.5 regardless of class balance, not the
+/// 0.0 or 1.0 that strict `>` or `>=` rank comparisons would report.
+/// `tests/regressions.rs` pins this against all-equal and block-tied
+/// score vectors.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len());
     let n_pos = labels.iter().filter(|&&l| l).count();

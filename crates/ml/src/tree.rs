@@ -64,7 +64,7 @@ impl TreeConfig {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Node {
+pub(crate) enum Node {
     Split {
         feature: u16,
         threshold: f32,
@@ -311,6 +311,11 @@ impl DecisionTree {
     /// Number of nodes in the tree.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The pre-order node table, for [`crate::flat`]'s flattening pass.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Maximum depth actually reached.

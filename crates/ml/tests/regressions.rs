@@ -291,3 +291,40 @@ fn gbdt_rejects_subsample_above_one() {
     };
     Gbdt::fit(&cfg, &two_class_data(), 0);
 }
+
+// ---------------------------------------------------------------------
+// 5. ROC AUC midrank tie convention: tied score groups take the average
+//    of the ranks they span, so a constant scorer is exactly chance.
+// ---------------------------------------------------------------------
+
+#[test]
+fn auc_of_all_equal_scores_is_exactly_half_despite_imbalance() {
+    // 3 positives vs 97 negatives, one constant score: strict `>` ranking
+    // would report 0.0 and `>=` would report 1.0; midrank must give 0.5
+    // exactly (every positive/negative pair is half-concordant).
+    let scores = vec![0.25f64; 100];
+    let mut labels = vec![false; 100];
+    labels[10] = true;
+    labels[50] = true;
+    labels[99] = true;
+    let auc = ssd_ml::roc_auc(&scores, &labels);
+    assert_eq!(auc.to_bits(), 0.5f64.to_bits(), "got {auc}");
+    // And the tied ROC curve integrates to the same value: a single
+    // diagonal segment from (0,0) to (1,1).
+    let curve = ssd_ml::RocCurve::compute(&scores, &labels);
+    assert!((curve.auc() - 0.5).abs() < 1e-15);
+    assert_eq!(curve.points.len(), 2, "one tie group, one vertex");
+}
+
+#[test]
+fn auc_midrank_matches_half_credit_on_a_block_tied_group() {
+    // One positive scores above everything, one negative below, and the
+    // middle block ties one positive with one negative. Concordant pairs:
+    // top positive beats both negatives (2), tied positive beats the low
+    // negative (1) and half-counts against its tie partner (0.5) →
+    // AUC = 3.5 / 4.
+    let scores = vec![0.9, 0.5, 0.5, 0.1];
+    let labels = vec![true, true, false, false];
+    let auc = ssd_ml::roc_auc(&scores, &labels);
+    assert!((auc - 0.875).abs() < 1e-15, "got {auc}");
+}

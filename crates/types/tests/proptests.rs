@@ -156,6 +156,16 @@ fn mutation_never_panics_and_yields_typed_errors() {
                 }
             }
         }
+        // Drives that *do* decode from the damaged archive then hit the
+        // invariant gate online consumers apply (`build_dataset_streaming`
+        // maps it to TraceReadError::Invalid): validate() must return its
+        // typed Err for nonsense telemetry, never panic on it.
+        if let Ok(mut dec) = TraceDecoder::new(bytes.as_slice()) {
+            let mut log = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+            while let Ok(true) = dec.next_drive_into(&mut log) {
+                let _ = log.validate();
+            }
+        }
     });
 }
 

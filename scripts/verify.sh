@@ -22,12 +22,13 @@ cargo test -q --offline
 echo "== full workspace test suite =="
 cargo test -q --offline --workspace
 
-echo "== benches compile (all 12 targets) =="
+echo "== benches compile (all 13 targets) =="
 cargo bench --no-run --offline --workspace
 
-echo "== bench smoke: bench_sim (incl. encode_stream/decode_stream) + ML kernels + history compare =="
+echo "== bench smoke: bench_sim (incl. encode_stream/decode_stream) + ML kernels + flat predict + history compare =="
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_sim
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_ml_kernels train_2k_rows
+SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_flat_predict flat_predict
 scripts/bench_compare.sh
 
 echo "== streaming smoke: generate -> summarize, truncated/corrupt archives rejected =="
@@ -45,6 +46,18 @@ fi
 printf 'not an archive' > "$smoke_dir/corrupt.ssdfs"
 if target/release/ssdstat --trace "$smoke_dir/corrupt.ssdfs" > /dev/null 2>&1; then
   echo "ERROR: ssdstat accepted a corrupt archive"; exit 1
+fi
+
+echo "== online prediction smoke: train + rank streamed fleet, bad archives rejected =="
+# A larger fleet so the training pass sees both classes (swaps are rare).
+target/release/ssdgen --out "$smoke_dir/predict" --drives 40 --days 800 --seed 11 --format bin
+target/release/ssdpredict --trace "$smoke_dir/predict/trace.ssdfs" \
+  --lookahead 14 --sample-rate 0.5 --seed 7 --trees 10 > /dev/null
+if target/release/ssdpredict --trace "$smoke_dir/truncated.ssdfs" > /dev/null 2>&1; then
+  echo "ERROR: ssdpredict accepted a truncated archive"; exit 1
+fi
+if target/release/ssdpredict --trace "$smoke_dir/corrupt.ssdfs" > /dev/null 2>&1; then
+  echo "ERROR: ssdpredict accepted a corrupt archive"; exit 1
 fi
 
 echo "== examples compile =="

@@ -1,0 +1,221 @@
+//! Streams an archived fleet trace through the online prediction
+//! pipeline: train on history, then rank every drive by its current-day
+//! swap risk.
+//!
+//! ```text
+//! ssdpredict --trace PATH [--horizon DAYS] [--model forest|gbdt]
+//!            [--lookahead N] [--trees T] [--seed S] [--sample-rate R]
+//!            [--top K]
+//! ```
+//!
+//! `PATH` may be a `.ssdfs` binary archive, a `.json` export, or a CSV
+//! directory (then `--horizon` is required). The run is two streaming
+//! passes over the source, each holding one drive resident:
+//!
+//! 1. **Train** — `build_dataset_streaming` folds every drive into a
+//!    labeled dataset (swap within `--lookahead` days), a random forest
+//!    or GBDT is fitted, and the ensemble is flattened into contiguous
+//!    node arrays (`ssd_ml::flat`).
+//! 2. **Score** — each drive's history replays through [`OnlineFleet`]'s
+//!    incremental feature state; one `predict_fleet_day` batch call then
+//!    scores the whole fleet's current day, and the top `--top` risky
+//!    drives are printed.
+//!
+//! Output is deterministic for fixed inputs and flags, for every
+//! thread-pool size.
+
+#![forbid(unsafe_code)]
+
+use ssd_field_study_core::features::{build_dataset_streaming, ExtractOptions};
+use ssd_field_study_core::OnlineFleet;
+use ssd_ml::{BatchScorer, FlatForest, FlatGbdt, ForestConfig, Gbdt, GbdtConfig, RandomForest};
+use ssd_types::source::TraceSource;
+use ssd_types::{DriveId, DriveLog, DriveModel};
+
+type BinError = Box<dyn std::error::Error>;
+
+struct Args {
+    trace: String,
+    horizon: Option<u32>,
+    model: String,
+    lookahead: u32,
+    trees: usize,
+    seed: u64,
+    sample_rate: f64,
+    top: usize,
+}
+
+fn parse_args() -> Result<Args, BinError> {
+    let mut args = Args {
+        trace: String::new(),
+        horizon: None,
+        model: "forest".into(),
+        lookahead: 7,
+        trees: 30,
+        seed: 0,
+        sample_rate: 1.0,
+        top: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--trace" => args.trace = next("--trace")?,
+            "--horizon" => {
+                args.horizon = Some(
+                    next("--horizon")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
+            }
+            "--model" => args.model = next("--model")?,
+            "--lookahead" => {
+                args.lookahead = next("--lookahead")?
+                    .parse()
+                    .map_err(|e| format!("--lookahead: {e}"))?
+            }
+            "--trees" => {
+                args.trees = next("--trees")?
+                    .parse()
+                    .map_err(|e| format!("--trees: {e}"))?
+            }
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--sample-rate" => {
+                args.sample_rate = next("--sample-rate")?
+                    .parse()
+                    .map_err(|e| format!("--sample-rate: {e}"))?
+            }
+            "--top" => {
+                args.top = next("--top")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ssdpredict --trace PATH [--horizon DAYS] [--model forest|gbdt] \
+                     [--lookahead N] [--trees T] [--seed S] [--sample-rate R] [--top K]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+    }
+    if args.trace.is_empty() {
+        return Err("--trace is required".into());
+    }
+    if args.lookahead < 1 {
+        return Err("--lookahead must be at least 1 day".into());
+    }
+    if !(args.sample_rate > 0.0 && args.sample_rate <= 1.0) {
+        return Err("--sample-rate must be in (0, 1]".into());
+    }
+    if args.trees < 1 {
+        return Err("--trees must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Trains the requested model on the streamed dataset and flattens it.
+fn train_scorer(
+    args: &Args,
+    data: &ssd_ml::Dataset,
+) -> Result<Box<dyn BatchScorer>, BinError> {
+    match args.model.as_str() {
+        "forest" => {
+            let cfg = ForestConfig {
+                n_trees: args.trees,
+                ..Default::default()
+            };
+            let forest = RandomForest::fit(&cfg, data, args.seed);
+            Ok(Box::new(FlatForest::from_forest(&forest)))
+        }
+        "gbdt" => {
+            let cfg = GbdtConfig {
+                n_trees: args.trees,
+                ..Default::default()
+            };
+            let model = Gbdt::fit(&cfg, data, args.seed);
+            Ok(Box::new(FlatGbdt::from_gbdt(&model)))
+        }
+        other => Err(format!("unknown model '{other}' (use forest|gbdt)").into()),
+    }
+}
+
+fn run() -> Result<(), BinError> {
+    let args = parse_args()?;
+    let source = TraceSource::from_path(&args.trace, args.horizon)?;
+
+    // Pass 1: stream the trace into a labeled training set.
+    let opts = ExtractOptions {
+        lookahead_days: args.lookahead,
+        negative_sample_rate: args.sample_rate,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let mut reader = source.open()?;
+    let data = build_dataset_streaming(&mut reader, &opts)?;
+    let (pos, neg) = data.class_counts();
+    if pos == 0 || neg == 0 {
+        return Err(format!(
+            "training data needs both classes: {pos} positive / {neg} negative rows \
+             (try a longer trace or a larger --lookahead)"
+        )
+        .into());
+    }
+    let scorer = train_scorer(&args, &data)?;
+    eprintln!(
+        "trained {} ({} trees) on {} rows ({pos} positive) in one streaming pass",
+        scorer.scorer_name(),
+        args.trees,
+        data.n_rows()
+    );
+
+    // Pass 2: replay each drive's telemetry through the online feature
+    // state, then score the whole fleet's current day in one batch.
+    let mut reader = source.open()?;
+    let mut fleet = OnlineFleet::new();
+    let mut drive = DriveLog::new(DriveId(0), DriveModel::from_index(0));
+    let mut drive_days = 0u64;
+    while reader.next_drive_into(&mut drive)? {
+        drive
+            .validate()
+            .map_err(|e| format!("trace invariants: {e}"))?;
+        drive_days += drive.reports.len() as u64;
+        fleet.observe_drive(&drive);
+    }
+    let mut scored = fleet.predict_fleet_day(scorer.as_ref());
+    // Highest risk first; ties break toward the lower drive id so the
+    // report is stable across runs and pool sizes.
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+
+    let n = fleet.n_drives();
+    let mean = if n == 0 {
+        0.0
+    } else {
+        scored.iter().map(|(_, p)| p).sum::<f64>() / n as f64
+    };
+    println!("fleet risk (swap within {} days)", args.lookahead);
+    println!("  drives:      {n}");
+    println!("  drive-days:  {drive_days}");
+    println!("  mean score:  {mean:.4}");
+    println!();
+    println!("top {} drives by current-day risk:", args.top.min(n));
+    for (id, p) in scored.iter().take(args.top) {
+        let model = fleet
+            .model_of(*id)
+            .map_or_else(|| "?".to_string(), |m| m.to_string());
+        println!("  drive {:>6}  model {:<6}  score {:.4}", id.0, model, p);
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ssdpredict: {e}");
+        std::process::exit(1);
+    }
+}

@@ -241,3 +241,174 @@ fn ssdstat_reports_missing_file_path_in_error() {
         "error should name the path:\n{stderr}"
     );
 }
+
+/// ssdpredict needs a trace with actual failures to train on; the shared
+/// 7-drive/120-day fleet has none, so these tests generate a larger one.
+fn gen_predict_trace(dir: &std::path::Path) {
+    run(
+        env!("CARGO_BIN_EXE_ssdgen"),
+        &[
+            "--out",
+            dir.to_str().unwrap(),
+            "--drives",
+            "40",
+            "--days",
+            "800",
+            "--seed",
+            "11",
+            "--format",
+            "bin",
+        ],
+    );
+}
+
+#[test]
+fn ssdpredict_ranks_fleet_from_binary_archive() {
+    let dir = scratch("predict_bin");
+    gen_predict_trace(&dir);
+    let out = run(
+        env!("CARGO_BIN_EXE_ssdpredict"),
+        &[
+            "--trace",
+            dir.join("trace.ssdfs").to_str().unwrap(),
+            "--lookahead",
+            "14",
+            "--sample-rate",
+            "0.5",
+            "--seed",
+            "7",
+            "--trees",
+            "10",
+            "--top",
+            "5",
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trained Flat Random Forest"), "missing train line:\n{stderr}");
+    assert!(stdout.contains("fleet risk (swap within 14 days)"), "missing header:\n{stdout}");
+    assert!(stdout.contains("top 5 drives by current-day risk"), "missing ranking:\n{stdout}");
+    // Scores are probabilities printed to 4 places; the header block
+    // reports the fleet size that actually reported telemetry.
+    assert!(stdout.contains("drives:      66"), "wrong fleet size:\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdpredict_gbdt_model_runs_on_the_same_archive() {
+    let dir = scratch("predict_gbdt");
+    gen_predict_trace(&dir);
+    let out = run(
+        env!("CARGO_BIN_EXE_ssdpredict"),
+        &[
+            "--trace",
+            dir.join("trace.ssdfs").to_str().unwrap(),
+            "--model",
+            "gbdt",
+            "--lookahead",
+            "14",
+            "--sample-rate",
+            "0.5",
+            "--trees",
+            "10",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trained Flat GBDT"), "missing train line:\n{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdpredict_reports_single_class_traces_with_typed_error() {
+    // The shared tiny fleet produces no swaps, so training must fail
+    // with the class-balance diagnostic, not a panic or a zero ranking.
+    let dir = scratch("predict_single_class");
+    gen_trace(&dir, "bin");
+    let out = Command::new(env!("CARGO_BIN_EXE_ssdpredict"))
+        .args(["--trace", dir.join("trace.ssdfs").to_str().unwrap()])
+        .output()
+        .expect("spawn ssdpredict");
+    assert!(!out.status.success(), "single-class trace must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ssdpredict:") && stderr.contains("needs both classes"),
+        "error should explain the class imbalance:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdpredict_rejects_truncated_archive_with_nonzero_exit() {
+    let dir = scratch("predict_truncated");
+    gen_trace(&dir, "bin");
+    let bytes = std::fs::read(dir.join("trace.ssdfs")).expect("read archive");
+    let cut_path = dir.join("truncated.ssdfs");
+    std::fs::write(&cut_path, &bytes[..bytes.len() * 2 / 3]).expect("write truncated");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ssdpredict"))
+        .args(["--trace", cut_path.to_str().unwrap()])
+        .output()
+        .expect("spawn ssdpredict");
+    assert!(!out.status.success(), "truncated archive must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ssdpredict:") && stderr.contains("unexpected end of input"),
+        "error should name the truncation:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdpredict_rejects_corrupt_archive_with_nonzero_exit() {
+    let dir = scratch("predict_corrupt");
+    std::fs::create_dir_all(&dir).ok();
+    let bad_path = dir.join("corrupt.ssdfs");
+    std::fs::write(&bad_path, b"definitely not a trace archive").expect("write corrupt");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ssdpredict"))
+        .args(["--trace", bad_path.to_str().unwrap()])
+        .output()
+        .expect("spawn ssdpredict");
+    assert!(!out.status.success(), "corrupt archive must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad magic"), "error should report the bad header:\n{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdpredict_never_panics_on_byte_mutated_archives() {
+    // Flip bytes at spread-out offsets: whatever the decoder makes of the
+    // damage, the process must exit via the typed error path (or clean
+    // success if the flip landed somewhere inert) — never a panic, never
+    // a signal.
+    let dir = scratch("predict_mutated");
+    gen_trace(&dir, "bin");
+    let bytes = std::fs::read(dir.join("trace.ssdfs")).expect("read archive");
+    for (i, stride) in [(1usize, 97usize), (2, 251), (3, 509), (4, 1021)] {
+        let mut mutated = bytes.clone();
+        let mut at = 8 + i; // past the magic so the decoder engages
+        while at < mutated.len() {
+            mutated[at] ^= 0x55;
+            at += stride;
+        }
+        let mut_path = dir.join(format!("mutated_{i}.ssdfs"));
+        std::fs::write(&mut_path, &mutated).expect("write mutated");
+        let out = Command::new(env!("CARGO_BIN_EXE_ssdpredict"))
+            .args(["--trace", mut_path.to_str().unwrap()])
+            .output()
+            .expect("spawn ssdpredict");
+        assert!(
+            out.status.code().is_some(),
+            "mutation {i}: killed by signal instead of exiting"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.contains("panicked"), "mutation {i} panicked:\n{stderr}");
+        if !out.status.success() {
+            assert!(
+                stderr.contains("ssdpredict:"),
+                "mutation {i}: failure must go through the typed error path:\n{stderr}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
