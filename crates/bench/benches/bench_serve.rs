@@ -1,0 +1,63 @@
+//! Fleet-service request benchmarks: one resident `FleetService` per
+//! shard count, timed frame-to-frame.
+//!
+//! `serve_summary_s{1,2,8}` times the same whole-fleet summary query as
+//! the shard count grows — the shard broadcast plus the additive
+//! cross-shard merge. `serve_topk` times a batch-scored risk ranking
+//! through the flattened forest, and `serve_mixed_batch` times a 4-query
+//! array frame (summary, survival, hazard, top-k) answered in a single
+//! coalesced shard pass. Response bytes are byte-identical at every shard
+//! count (`tests/serve.rs`), so these differ only in wall-clock.
+
+use ssd_bench::{criterion_group, criterion_main, Criterion};
+use ssd_field_study_core::serve::{FleetService, ScorerSpec, ServeConfig};
+use ssd_sim::{generate_fleet, SimConfig};
+use ssd_types::source::TraceSource;
+
+fn service(shards: usize) -> FleetService {
+    let trace = generate_fleet(&SimConfig {
+        drives_per_model: 150,
+        horizon_days: 730,
+        seed: 11,
+    });
+    let source = TraceSource::InMemory(trace);
+    let cfg = ServeConfig {
+        shards,
+        scorer: ScorerSpec::Forest { trees: 20 },
+        lookahead_days: 7,
+        sample_rate: 0.5,
+        seed: 7,
+        ..ServeConfig::default()
+    };
+    FleetService::load(&source, &cfg).expect("bench fleet loads")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // Frame bodies as `FleetService::respond` sees them (the connection
+    // loop strips the 4-byte length prefix before this layer).
+    let summary = br#"{"q":"summary"}"#;
+    let topk = br#"{"q":"topk","k":50}"#;
+    let mixed =
+        br#"[{"q":"summary"},{"q":"survival"},{"q":"hazard","bin_days":30},{"q":"topk","k":50}]"#;
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(20);
+    for shards in [1usize, 2, 8] {
+        let svc = service(shards);
+        g.bench_function(&format!("serve_summary_s{shards}"), |b| {
+            b.iter(|| svc.respond(summary).expect("summary responds"))
+        });
+        if shards == 2 {
+            g.bench_function("serve_topk", |b| {
+                b.iter(|| svc.respond(topk).expect("topk responds"))
+            });
+            g.bench_function("serve_mixed_batch", |b| {
+                b.iter(|| svc.respond(mixed).expect("mixed batch responds"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

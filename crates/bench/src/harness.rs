@@ -4,7 +4,8 @@
 //! [`Criterion`], [`Criterion::benchmark_group`] with
 //! `sample_size`/`bench_function`/`finish`, [`Bencher::iter`],
 //! [`Bencher::iter_batched`] with [`BatchSize`], and the
-//! [`criterion_group!`]/[`criterion_main!`] macros. Benches keep their
+//! [`crate::criterion_group!`]/[`crate::criterion_main!`] macros
+//! (exported at the crate root). Benches keep their
 //! structure and only change the import line.
 //!
 //! Each `bench_function` runs one warm-up call, then `sample_size` timed

@@ -51,7 +51,7 @@ pub enum LabelKind {
     Swap,
     /// An occurrence of the given error type within the next `N` days,
     /// strictly after the current day (the current day's count is already
-    /// a feature — Table 8's error-prediction task from [17]).
+    /// a feature — Table 8's error-prediction task from reference \[17\]).
     Error(ErrorKind),
     /// Growth of the grown-bad-block counter within the next `N` days,
     /// strictly after the current day (Table 8, "Bad block" row).

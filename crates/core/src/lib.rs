@@ -49,6 +49,7 @@ pub mod policy;
 pub mod predict;
 pub mod reentry;
 pub mod report;
+pub mod serve;
 pub mod streaming;
 
 pub use drift::{drift_report, DriftCheck, DriftReport};

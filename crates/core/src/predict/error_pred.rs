@@ -1,5 +1,5 @@
 //! Table 8: predicting individual error types with random forests
-//! (the task of Mahdisoltani et al. [17], recreated and extended with the
+//! (the task of Mahdisoltani et al. \[17\], recreated and extended with the
 //! young/old partitioning of Section 5.3/5.4).
 
 use super::PredictConfig;

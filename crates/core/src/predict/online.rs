@@ -18,6 +18,22 @@
 //! [`build_dataset`](crate::features::build_dataset) row
 //! (`tests/online_predict.rs` pins this), and scores are independent of
 //! both drive arrival order and thread-pool size.
+//!
+//! ```
+//! use ssd_field_study_core::OnlineFleet;
+//! use ssd_types::{DailyReport, DriveId, DriveModel};
+//!
+//! let mut fleet = OnlineFleet::new();
+//! // Replay three days of telemetry for one drive, in age order.
+//! for day in 0..3u32 {
+//!     let mut report = DailyReport::empty(day);
+//!     report.write_ops = 100 + u64::from(day);
+//!     fleet.observe(DriveId(7), DriveModel::MlcD, &report);
+//! }
+//! assert_eq!(fleet.n_drives(), 1);
+//! let row = fleet.features_of(DriveId(7)).expect("drive was observed");
+//! assert!(row.iter().all(|v| v.is_finite()));
+//! ```
 
 use crate::features::{RollingFeatures, N_FEATURES};
 use ssd_ml::BatchScorer;

@@ -1,0 +1,241 @@
+//! Transport loop and cross-client request coalescing.
+//!
+//! [`serve_connection`] is the per-client loop: read one frame, answer
+//! one frame, until clean EOF. Malformed input gets a best-effort typed
+//! error frame and then a [`ProtocolError`] return, so transports can
+//! exit nonzero — garbage never panics and never hangs the peer.
+//!
+//! [`Dispatcher`] adds cross-client batching on top: connection threads
+//! submit raw frame bodies to one dispatcher thread, which drains
+//! everything that co-arrived (up to [`COALESCE_LIMIT`] frames), compiles
+//! the union into **one** [`FleetService::handle`] call — one shard
+//! pass — and routes each response back to its submitter. Because
+//! responses are a pure function of (request, resident state), coalescing
+//! changes timing only: every client gets byte-identical answers whether
+//! it talked to the service alone or alongside others (`tests/serve.rs`
+//! pins this).
+
+use super::protocol::{
+    error_body, read_frame, write_frame, ProtocolError, Request, MAX_REQUEST_FRAME,
+};
+use super::service::FleetService;
+use ssd_types::json::Value;
+use std::io::{Read, Write};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Most co-arriving frames one dispatcher round coalesces into a single
+/// shard pass.
+pub const COALESCE_LIMIT: usize = 64;
+
+/// How a connection turns one request frame body into one response body.
+pub enum Responder {
+    /// Answer in the calling thread, one shard pass per frame.
+    Direct(Arc<FleetService>),
+    /// Funnel through a [`Dispatcher`] so co-arriving frames from any
+    /// connection share one shard pass.
+    Batched(Arc<Dispatcher>),
+}
+
+impl Responder {
+    /// Produces the response body for one request frame body.
+    pub fn respond(&self, body: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+        match self {
+            Responder::Direct(service) => service.respond(body),
+            Responder::Batched(dispatcher) => dispatcher.submit(body.to_vec()),
+        }
+    }
+}
+
+/// Serves one client: frames in, frames out, until clean EOF. Returns the
+/// number of frames answered. On a protocol error a typed error frame is
+/// written best-effort before the error is returned.
+pub fn serve_connection(
+    responder: &Responder,
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> Result<u64, ProtocolError> {
+    let mut served = 0u64;
+    loop {
+        let body = match read_frame(reader, MAX_REQUEST_FRAME) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(served),
+            Err(e) => {
+                send_error_frame(writer, &e);
+                return Err(e);
+            }
+        };
+        match responder.respond(&body) {
+            Ok(response) => {
+                write_frame(writer, &response).map_err(ProtocolError::Io)?;
+                writer.flush().map_err(ProtocolError::Io)?;
+                served += 1;
+            }
+            Err(e) => {
+                send_error_frame(writer, &e);
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Best-effort: frame up the typed error for the peer. Failures to write
+/// are ignored — the connection is being torn down anyway.
+fn send_error_frame(writer: &mut impl Write, e: &ProtocolError) {
+    let body = error_body(e.kind(), &e.to_string());
+    let _ = write_frame(writer, &body);
+    let _ = writer.flush();
+}
+
+struct Submission {
+    body: Vec<u8>,
+    reply: SyncSender<Result<Vec<u8>, ProtocolError>>,
+}
+
+/// One dispatcher thread coalescing co-arriving frames from any number of
+/// connection threads into single shard passes.
+pub struct Dispatcher {
+    queue: SyncSender<Submission>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Spawns the dispatcher thread over a shared service. `queue_cap`
+    /// bounds the submission queue (backpressure, clamped to at least 1).
+    pub fn new(service: Arc<FleetService>, queue_cap: usize) -> std::io::Result<Dispatcher> {
+        let (queue, rx) = sync_channel::<Submission>(queue_cap.max(1));
+        let worker = std::thread::Builder::new()
+            .name("ssdserve-dispatch".into())
+            .spawn(move || dispatch_loop(&service, &rx))?;
+        Ok(Dispatcher {
+            queue,
+            worker: Some(worker),
+        })
+    }
+
+    /// Submits one frame body and blocks for its response body. A dead
+    /// dispatcher surfaces as a broken-pipe transport error.
+    pub fn submit(&self, body: Vec<u8>) -> Result<Vec<u8>, ProtocolError> {
+        let (reply, response) = sync_channel(1);
+        let gone = || {
+            ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "dispatcher is gone",
+            ))
+        };
+        self.queue
+            .send(Submission { body, reply })
+            .map_err(|_| gone())?;
+        response.recv().map_err(|_| gone())?
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        // Closing the queue ends the dispatch loop after it drains.
+        let (closed, _) = sync_channel(1);
+        self.queue = closed;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn dispatch_loop(service: &FleetService, rx: &Receiver<Submission>) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < COALESCE_LIMIT {
+            match rx.try_recv() {
+                Ok(s) => batch.push(s),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        run_round(service, batch);
+    }
+}
+
+/// One coalescing round: parse every frame, answer the union of all
+/// well-formed requests in one `handle` call, split the responses back
+/// out per frame (mirroring each frame's object/array shape).
+fn run_round(service: &FleetService, batch: Vec<Submission>) {
+    let parsed: Vec<(Submission, Result<(Vec<Request>, bool), ProtocolError>)> = batch
+        .into_iter()
+        .map(|s| {
+            let p = Request::parse_frame(&s.body);
+            (s, p)
+        })
+        .collect();
+    let mut union: Vec<Request> = Vec::new();
+    for (_, p) in &parsed {
+        if let Ok((reqs, _)) = p {
+            union.extend_from_slice(reqs);
+        }
+    }
+    let answered = if union.is_empty() {
+        Ok(Vec::new())
+    } else {
+        service.handle(&union)
+    };
+    match answered {
+        Ok(values) => {
+            let mut cursor = values.into_iter();
+            for (s, p) in parsed {
+                let outcome = match p {
+                    Err(e) => Err(e),
+                    Ok((reqs, batched)) => {
+                        let mine: Vec<Value> = cursor.by_ref().take(reqs.len()).collect();
+                        Ok(if batched {
+                            super::protocol::render(&Value::Arr(mine))
+                        } else {
+                            match mine.into_iter().next() {
+                                Some(v) => super::protocol::render(&v),
+                                None => super::protocol::render(&Value::Arr(Vec::new())),
+                            }
+                        })
+                    }
+                };
+                let _ = s.reply.send(outcome);
+            }
+        }
+        Err(e) => {
+            // The shard pool failed; every well-formed frame in the round
+            // gets the same typed internal error, parse errors keep theirs.
+            let msg = e.to_string();
+            for (s, p) in parsed {
+                let outcome = match p {
+                    Err(pe) => Err(pe),
+                    Ok(_) => Ok(error_body("internal", &msg)),
+                };
+                let _ = s.reply.send(outcome);
+            }
+        }
+    }
+}
+
+/// Serves clients over a Unix domain socket: one thread per connection,
+/// all funneling through one [`Dispatcher`]. Runs until `accept` fails.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: &std::os::unix::net::UnixListener,
+    service: Arc<FleetService>,
+    queue_cap: usize,
+) -> std::io::Result<()> {
+    let dispatcher = Arc::new(Dispatcher::new(service, queue_cap)?);
+    loop {
+        let (stream, _) = listener.accept()?;
+        let responder = Responder::Batched(Arc::clone(&dispatcher));
+        std::thread::Builder::new()
+            .name("ssdserve-conn".into())
+            .spawn(move || {
+                let mut reader = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                let mut writer = stream;
+                // Per-connection protocol errors already answered the
+                // peer with a typed error frame; the connection just ends.
+                let _ = serve_connection(&responder, &mut reader, &mut writer);
+            })?;
+    }
+}

@@ -12,7 +12,37 @@
 //! [`characterize`] — pinned by an equivalence test, and independent of
 //! the order drives are observed in (the ECDFs sort internally).
 //!
+//! Folds are also *additive*: two accumulators built over disjoint drive
+//! sets [`merge`] into the same state one fold over the union would have
+//! produced — the property the sharded `ssdserve` service relies on:
+//!
+//! ```
+//! use ssd_field_study_core::streaming::SummaryAccumulator;
+//! use ssd_types::{DailyReport, DriveId, DriveLog, DriveModel};
+//!
+//! let drive = |id: u32| {
+//!     let mut d = DriveLog::new(DriveId(id), DriveModel::MlcB);
+//!     d.reports.push(DailyReport::empty(0));
+//!     d
+//! };
+//!
+//! // One fold over both drives...
+//! let mut whole = SummaryAccumulator::new();
+//! whole.observe(&drive(0));
+//! whole.observe(&drive(1));
+//!
+//! // ...equals two disjoint folds, merged.
+//! let (mut left, mut right) = (SummaryAccumulator::new(), SummaryAccumulator::new());
+//! left.observe(&drive(0));
+//! right.observe(&drive(1));
+//! left.merge(&right);
+//!
+//! assert_eq!(left.n_drives(), whole.n_drives());
+//! assert_eq!(left.finish().total_drive_days, whole.finish().total_drive_days);
+//! ```
+//!
 //! [`finish`]: SummaryAccumulator::finish
+//! [`merge`]: SummaryAccumulator::merge
 //! [`lifecycle`]: crate::lifecycle
 //! [`characterize`]: crate::characterize
 

@@ -18,6 +18,7 @@
 //! | `nondeterminism` | library `src/` | no `HashMap`/`HashSet`, no `SystemTime::now`/`Instant::now` |
 //! | `hermeticity` | every `Cargo.toml` | all dependencies are `path =`/workspace-inherited |
 //! | `unsafe-gate` | crate roots | `#![forbid(unsafe_code)]` present |
+//! | `missing-crate-doc` | crate roots | crate-level `//!` docs present |
 //! | `allow-grammar` | everywhere | `lint:allow` comments parse and name a real rule |
 //!
 //! "Library `src/`" means `crates/{core,lint,ml,parallel,sim,stats,types}/src`
@@ -246,8 +247,15 @@ pub fn lint_source_str(rel_path: &str, src: &str, enabled: &[RuleId]) -> Vec<Dia
         // Test-only code may panic and hash freely.
         findings.retain(|f| !in_regions(f.line, &regions));
     }
-    if role.crate_root && enabled.contains(&RuleId::UnsafeGate) {
-        rules::check_unsafe_gate(&lexed.tokens, &mut findings);
+    if role.crate_root {
+        if enabled.contains(&RuleId::UnsafeGate) {
+            rules::check_unsafe_gate(&lexed.tokens, &mut findings);
+        }
+        if enabled.contains(&RuleId::MissingCrateDoc) {
+            // Doc comments never reach the token stream, so this rule
+            // reads the raw source.
+            rules::check_missing_crate_doc(src, &mut findings);
+        }
     }
 
     // Allow-directive suppression: a directive covers its own line and

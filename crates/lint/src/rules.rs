@@ -26,18 +26,22 @@ pub enum RuleId {
     Hermeticity,
     /// Every crate root must carry `#![forbid(unsafe_code)]`.
     UnsafeGate,
+    /// Every crate root must open with crate-level docs (`//!` or `/*!`),
+    /// so `cargo doc` renders a front page for every crate.
+    MissingCrateDoc,
     /// `lint:allow` comments must parse and name a real rule.
     AllowGrammar,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::PanicFreedom,
         RuleId::FloatDeterminism,
         RuleId::Nondeterminism,
         RuleId::Hermeticity,
         RuleId::UnsafeGate,
+        RuleId::MissingCrateDoc,
         RuleId::AllowGrammar,
     ];
 
@@ -49,6 +53,7 @@ impl RuleId {
             RuleId::Nondeterminism => "nondeterminism",
             RuleId::Hermeticity => "hermeticity",
             RuleId::UnsafeGate => "unsafe-gate",
+            RuleId::MissingCrateDoc => "missing-crate-doc",
             RuleId::AllowGrammar => "allow-grammar",
         }
     }
@@ -69,6 +74,7 @@ impl RuleId {
                 "every Cargo.toml dependency is a path/workspace dependency"
             }
             RuleId::UnsafeGate => "every crate root carries #![forbid(unsafe_code)]",
+            RuleId::MissingCrateDoc => "every crate root carries crate-level `//!` docs",
             RuleId::AllowGrammar => "lint:allow comments parse and name a real rule",
         }
     }
@@ -218,6 +224,23 @@ pub fn check_unsafe_gate(tokens: &[Token<'_>], out: &mut Vec<Finding>) {
             1,
             RuleId::UnsafeGate,
             "crate root is missing `#![forbid(unsafe_code)]`",
+        ));
+    }
+}
+
+/// missing-crate-doc: the crate root must contain crate-level docs — a
+/// line starting (after indentation) with `//!` or `/*!`. Line-level
+/// rather than token-level because doc comments never survive the lexer.
+pub fn check_missing_crate_doc(src: &str, out: &mut Vec<Finding>) {
+    let documented = src
+        .lines()
+        .any(|l| l.trim_start().starts_with("//!") || l.trim_start().starts_with("/*!"));
+    if !documented {
+        out.push(finding(
+            1,
+            RuleId::MissingCrateDoc,
+            "crate root has no crate-level docs; open the file with `//!` \
+             paragraphs describing the crate's purpose",
         ));
     }
 }

@@ -1,0 +1,4 @@
+// lint:allow(missing-crate-doc) -- generated shim crate; docs live in the parent
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+// Fixture: a crate root with only line comments — no `//!` docs.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

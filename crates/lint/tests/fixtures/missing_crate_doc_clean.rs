@@ -1,0 +1,8 @@
+//! Fixture: a documented crate root.
+//!
+//! Crate-level docs may follow the gate attribute or precede it; the
+//! rule only requires that they exist somewhere in the file.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -92,6 +92,25 @@ fn unsafe_gate_fixture() {
 }
 
 #[test]
+fn missing_crate_doc_fixture() {
+    let bad = lint_root(include_str!("fixtures/missing_crate_doc_bad.rs"));
+    assert_eq!(rules_fired(&bad), vec![RuleId::MissingCrateDoc], "{bad:?}");
+    assert_eq!(bad[0].line, 1);
+    assert!(bad[0].message.contains("crate-level docs"), "{bad:?}");
+
+    let clean = lint_root(include_str!("fixtures/missing_crate_doc_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // The allow directive must sit on line 1, where the finding lands.
+    let allowed = lint_root(include_str!("fixtures/missing_crate_doc_allowed.rs"));
+    assert!(allowed.is_empty(), "{allowed:?}");
+
+    // Crate roots only: module files need no crate docs.
+    let module = lint_scoped(include_str!("fixtures/missing_crate_doc_bad.rs"));
+    assert!(module.is_empty(), "{module:?}");
+}
+
+#[test]
 fn allow_grammar_fixture() {
     let diags = lint_scoped(include_str!("fixtures/allow_grammar_bad.rs"));
     let fired: Vec<&Diagnostic> =

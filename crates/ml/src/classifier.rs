@@ -5,7 +5,7 @@ use ssd_parallel::prelude::*;
 
 /// A trained binary classifier producing a continuous score in `[0, 1]`
 /// interpretable as P(positive | features) — the paper's model output
-/// ("a continuous output in the interval [0,1] … the conditional
+/// ("a continuous output in the interval \[0,1\] … the conditional
 /// probability of failure given the input", Section 5.1).
 pub trait Classifier: Send + Sync {
     /// Scores a single feature row.

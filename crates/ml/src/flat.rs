@@ -18,6 +18,27 @@
 //! order, same final transform. `tests/flat_equivalence.rs` pins this
 //! with a property battery; `ssd-bench`'s `bench_flat_predict` pins the
 //! speedup.
+//!
+//! ```
+//! use ssd_ml::{Classifier, Dataset, FlatForest, ForestConfig, RandomForest};
+//!
+//! let mut data = Dataset::with_dims(2);
+//! for i in 0..40u32 {
+//!     let x = i as f32 / 40.0;
+//!     data.push_row(&[x, 1.0 - x], x > 0.5, i);
+//! }
+//! let forest = RandomForest::fit(
+//!     &ForestConfig { n_trees: 5, ..ForestConfig::default() },
+//!     &data,
+//!     42,
+//! );
+//! let flat = FlatForest::from_forest(&forest);
+//! for i in 0..data.n_rows() {
+//!     let row = data.row(i);
+//!     // Flattening changes layout, never bits.
+//!     assert_eq!(flat.predict_proba(row).to_bits(), forest.predict_proba(row).to_bits());
+//! }
+//! ```
 
 use crate::classifier::{sigmoid, Classifier};
 use crate::dataset::Dataset;

@@ -2,7 +2,7 @@
 //!
 //! The paper's best model across every experiment (Tables 6–8): "we find
 //! that Random Forest models perform best on this data set … since they
-//! work well with discrete data [and] are able to model nonlinear effects"
+//! work well with discrete data \[and\] are able to model nonlinear effects"
 //! (Section 5.2). Trees are trained in parallel (rayon), each from an
 //! independent deterministic seed, so the fitted forest is reproducible
 //! regardless of thread count.

@@ -1,6 +1,6 @@
 //! Gradient-boosted decision trees with logistic loss.
 //!
-//! The paper closes by noting it is "working on … improv[ing] our
+//! The paper closes by noting it is "working on … improv\[ing\] our
 //! prediction models for large N" (Section 7). Boosting is the natural
 //! next step beyond bagging: where the random forest averages
 //! independently-grown deep trees, GBDT grows shallow trees sequentially

@@ -1,7 +1,7 @@
 //! Hyperparameter grid search over cross-validated ROC AUC.
 //!
 //! "For each method, we performed a grid search over hyperparameters in
-//! order to find the best configuration … chosen [by] the best
+//! order to find the best configuration … chosen \[by\] the best
 //! cross-validated performance with respect to ROC AUC" (Section 5.2).
 
 use crate::classifier::Trainer;

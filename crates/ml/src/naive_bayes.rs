@@ -1,6 +1,6 @@
 //! Gaussian naive Bayes — the classical Bayesian baseline.
 //!
-//! The paper's related work (Hamerly & Elkan [12]) used Bayesian
+//! The paper's related work (Hamerly & Elkan \[12\]) used Bayesian
 //! approaches for disk-failure prediction; this implementation provides
 //! that reference point next to the six main model families. Features are
 //! modeled per class as independent Gaussians on standardized inputs,

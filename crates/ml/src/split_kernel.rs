@@ -192,7 +192,7 @@ impl SplitCriterion for NewtonCriterion<'_> {
 /// is the full per-slot column for that feature. Candidates are the
 /// boundaries between distinct adjacent values whose sides both hold at
 /// least `min_leaf` samples. Ties in gain keep the earliest boundary, and
-/// gains must clear [`GAIN_EPS`]. Returns `(threshold, gain, split_at)`.
+/// gains must clear a small epsilon (`GAIN_EPS`). Returns `(threshold, gain, split_at)`.
 pub fn scan_feature<C: SplitCriterion>(
     order: &[u32],
     values: &[f32],

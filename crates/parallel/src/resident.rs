@@ -1,0 +1,321 @@
+//! Resident shard workers: long-lived threads that each own one shard of
+//! state and serve work sent through bounded request queues.
+//!
+//! [`crate`]'s scoped `par_iter` adapters spawn workers per call and give
+//! them borrowed slices — the right shape for one-shot batch analyses,
+//! and the wrong one for a *service*, where multi-gigabyte shard state
+//! must stay resident across many requests. [`ShardPool`] fills that gap:
+//! `new` moves each state value onto its own named worker thread, and
+//! [`broadcast`](ShardPool::broadcast) runs a closure against every shard,
+//! returning the per-shard results **in shard order** regardless of which
+//! worker finishes first.
+//!
+//! # Determinism contract
+//!
+//! Same as the rest of this crate: outputs are independent of scheduling.
+//! `broadcast` results are reassembled by shard index, so a reduction over
+//! them visits shards `0..n` in order no matter how the workers
+//! interleave. Whether *state mutation* stays deterministic is up to the
+//! caller (a read-only fleet service trivially satisfies it).
+//!
+//! # Queues, shutdown, and poison recovery
+//!
+//! Each worker is fed through a [`std::sync::mpsc::sync_channel`] of the
+//! capacity given to `new`, so a flood of requests backpressures the
+//! submitting thread instead of growing an unbounded queue. Dropping the
+//! pool performs a graceful shutdown: queues close, every worker drains
+//! what it already accepted, and the threads are joined. A worker that
+//! dies mid-job (a panic in caller code) is contained, not propagated:
+//! the job's result slot simply never fills, `broadcast` reports a typed
+//! [`PoolError::ShardDown`] instead of hanging or unwinding, and the
+//! remaining shards keep serving.
+//!
+//! ```
+//! use ssd_parallel::resident::ShardPool;
+//!
+//! // Three resident shards, each owning one Vec of its fleet's values.
+//! let shards: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 4], vec![5]];
+//! let pool = ShardPool::new(shards, 2)?;
+//! // One pass over every shard; results come back in shard order.
+//! let sums = pool.broadcast(|_idx, shard| shard.iter().sum::<u64>())?;
+//! assert_eq!(sums, vec![3, 7, 5]);
+//! let total: u64 = sums.iter().sum();
+//! assert_eq!(total, 15);
+//! # Ok::<(), ssd_parallel::resident::PoolError>(())
+//! ```
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A job shipped to one worker: it runs against the worker's shard state.
+type Job<T> = Box<dyn FnOnce(&mut T) + Send>;
+
+/// Typed failure of a [`ShardPool`] operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PoolError {
+    /// A worker thread is no longer serving its queue (it panicked in a
+    /// previous job or was never started); the shard's result is missing.
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// The operating system refused to spawn a worker thread.
+    Spawn {
+        /// Index of the shard whose worker could not start.
+        shard: usize,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ShardDown { shard } => {
+                write!(f, "shard {shard} worker is down; its result is missing")
+            }
+            PoolError::Spawn { shard, source } => {
+                write!(f, "failed to spawn worker for shard {shard}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Spawn { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+struct Worker<T> {
+    sender: Option<SyncSender<Job<T>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of worker threads, each owning one shard of resident state.
+///
+/// See the [module docs](self) for the full contract.
+pub struct ShardPool<T> {
+    workers: Vec<Worker<T>>,
+}
+
+impl<T: Send + 'static> ShardPool<T> {
+    /// Moves each state in `states` onto its own worker thread, with a
+    /// request queue bounded at `queue_cap` jobs (clamped to at least 1).
+    pub fn new(states: Vec<T>, queue_cap: usize) -> Result<Self, PoolError> {
+        let cap = queue_cap.max(1);
+        let mut workers = Vec::with_capacity(states.len());
+        for (shard, mut state) in states.into_iter().enumerate() {
+            let (sender, receiver): (SyncSender<Job<T>>, Receiver<Job<T>>) = sync_channel(cap);
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-{shard}"))
+                .spawn(move || {
+                    // Runs until every sender is dropped (pool drop), then
+                    // drains what was already queued and exits.
+                    while let Ok(job) = receiver.recv() {
+                        job(&mut state);
+                    }
+                })
+                .map_err(|source| PoolError::Spawn { shard, source })?;
+            workers.push(Worker {
+                sender: Some(sender),
+                handle: Some(handle),
+            });
+        }
+        Ok(ShardPool { workers })
+    }
+
+    /// Number of shards (workers) in the pool.
+    pub fn n_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` against every shard and returns the results in shard
+    /// order. Blocks while queues are full (bounded backpressure) and
+    /// until every live shard has answered. If any worker died — before
+    /// dispatch or mid-job — the lowest missing shard index is reported
+    /// as [`PoolError::ShardDown`]; surviving shards still completed
+    /// their work.
+    pub fn broadcast<R, F>(&self, f: F) -> Result<Vec<R>, PoolError>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &mut T) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (reply, results) = channel::<(usize, R)>();
+        for (idx, worker) in self.workers.iter().enumerate() {
+            let f = Arc::clone(&f);
+            let reply = reply.clone();
+            let job: Job<T> = Box::new(move |state| {
+                // The receiver outlives the dispatch loop; a send can only
+                // fail if broadcast already returned an error, in which
+                // case the result is intentionally discarded.
+                let _ = reply.send((idx, f(idx, state)));
+            });
+            if let Some(sender) = &worker.sender {
+                // A failed send means the worker's receiver is gone: the
+                // thread died in an earlier job. Leave the slot empty and
+                // report it after the live shards finish.
+                let _ = sender.send(job);
+            }
+        }
+        // Drop the local reply handle so the results channel disconnects
+        // once every dispatched job has run (or died trying) — this is
+        // what makes a mid-job worker death a clean error, not a hang.
+        drop(reply);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(self.workers.len());
+        slots.resize_with(self.workers.len(), || None);
+        for (idx, value) in results {
+            if let Some(slot) = slots.get_mut(idx) {
+                *slot = Some(value);
+            }
+        }
+        let mut out = Vec::with_capacity(slots.len());
+        for (shard, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(value) => out.push(value),
+                None => return Err(PoolError::ShardDown { shard }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Graceful shutdown: closes every queue, lets workers drain, joins
+    /// them, and reports the first shard whose thread had panicked (the
+    /// same recovery `Drop` performs silently).
+    pub fn shutdown(mut self) -> Result<(), PoolError> {
+        let mut first_down = None;
+        for (shard, worker) in self.workers.iter_mut().enumerate() {
+            worker.sender = None;
+            if let Some(handle) = worker.handle.take() {
+                if handle.join().is_err() && first_down.is_none() {
+                    first_down = Some(shard);
+                }
+            }
+        }
+        match first_down {
+            Some(shard) => Err(PoolError::ShardDown { shard }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<T> Drop for ShardPool<T> {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the queue ends the worker's recv loop after it
+            // drains already-accepted jobs.
+            worker.sender = None;
+            if let Some(handle) = worker.handle.take() {
+                // Poison recovery: a panicked worker is contained here
+                // rather than propagated out of Drop.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_returns_results_in_shard_order() {
+        let pool = ShardPool::new(vec![10u64, 20, 30, 40], 2).unwrap();
+        let doubled = pool.broadcast(|idx, state| (idx, *state * 2)).unwrap();
+        assert_eq!(doubled, vec![(0, 20), (1, 40), (2, 60), (3, 80)]);
+    }
+
+    #[test]
+    fn state_persists_across_broadcasts() {
+        let pool = ShardPool::new(vec![0u64; 3], 1).unwrap();
+        for _ in 0..5 {
+            pool.broadcast(|_, state| *state += 1).unwrap();
+        }
+        let counts = pool.broadcast(|_, state| *state).unwrap();
+        assert_eq!(counts, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn uneven_shard_costs_still_reassemble_in_order() {
+        let pool = ShardPool::new((0..6u64).collect::<Vec<_>>(), 2).unwrap();
+        let out = pool
+            .broadcast(|idx, state| {
+                // Make early shards slow so completion order inverts.
+                if idx < 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                *state
+            })
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dead_worker_yields_typed_error_and_pool_survives() {
+        let pool = ShardPool::new(vec![0u64; 3], 1).unwrap();
+        // Kill shard 1's worker with a panic inside a job.
+        let r = pool.broadcast(|idx, _| {
+            if idx == 1 {
+                panic!("boom");
+            }
+            idx
+        });
+        match r {
+            Err(PoolError::ShardDown { shard }) => assert_eq!(shard, 1),
+            other => panic!("expected ShardDown, got {other:?}"),
+        }
+        // The surviving shards still serve; the dead one keeps reporting.
+        let r2 = pool.broadcast(|idx, _| idx);
+        match r2 {
+            Err(PoolError::ShardDown { shard }) => assert_eq!(shard, 1),
+            other => panic!("expected ShardDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_and_reports_panicked_workers() {
+        let pool = ShardPool::new(vec![0u64; 2], 1).unwrap();
+        assert!(pool.shutdown().is_ok());
+
+        let pool = ShardPool::new(vec![0u64; 2], 1).unwrap();
+        let _ = pool.broadcast(|idx, _| {
+            if idx == 0 {
+                panic!("boom");
+            }
+        });
+        match pool.shutdown() {
+            Err(PoolError::ShardDown { shard }) => assert_eq!(shard, 0),
+            other => panic!("expected ShardDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ShardPool::new(vec![(); 2], 4).unwrap();
+            for _ in 0..8 {
+                let ran = Arc::clone(&ran);
+                let _ = pool.broadcast(move |_, _| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Pool dropped here: graceful shutdown joins the workers.
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn empty_pool_broadcasts_empty() {
+        let pool = ShardPool::new(Vec::<u64>::new(), 1).unwrap();
+        let out: Vec<u64> = pool.broadcast(|_, s| *s).unwrap();
+        assert!(out.is_empty());
+    }
+}

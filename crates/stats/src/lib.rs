@@ -6,7 +6,7 @@
 //! statistical primitives, all implemented here from scratch:
 //!
 //! * [`summary`] — streaming means/variances (Welford) and summaries.
-//! * [`quantile`] — quantiles with linear interpolation (R type-7) and
+//! * [`mod@quantile`] — quantiles with linear interpolation (R type-7) and
 //!   quartiles (Figure 7's shaded bands).
 //! * [`ecdf`] — empirical CDFs, including *censored* ECDFs with a mass at
 //!   infinity (the "∞" bars of Figures 3 and 5).

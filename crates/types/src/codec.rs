@@ -47,6 +47,34 @@
 //! wrappers over the same core and remain byte-compatible with archives
 //! produced before the streaming redesign.
 //!
+//! ## Example
+//!
+//! Encode two drives into an in-memory archive, then stream them back one
+//! at a time through a reusable `DriveLog` buffer:
+//!
+//! ```
+//! use ssd_types::codec::{TraceDecoder, TraceEncoder};
+//! use ssd_types::{DailyReport, DriveId, DriveLog, DriveModel};
+//!
+//! let mut enc = TraceEncoder::new(30, 2);
+//! for id in 0..2u32 {
+//!     let mut drive = DriveLog::new(DriveId(id), DriveModel::MlcA);
+//!     drive.reports.push(DailyReport::empty(3));
+//!     enc.append_drive(&drive).unwrap();
+//! }
+//! let bytes = enc.finish();
+//!
+//! let mut dec = TraceDecoder::new(&bytes[..]).unwrap();
+//! assert_eq!(dec.horizon_days(), 30);
+//! let mut log = DriveLog::new(DriveId(0), DriveModel::MlcA);
+//! let mut drives = 0;
+//! while dec.next_drive_into(&mut log).unwrap() {
+//!     assert_eq!(log.reports.len(), 1);
+//!     drives += 1;
+//! }
+//! assert_eq!(drives, 2);
+//! ```
+//!
 //! [`next_drive_into`]: TraceDecoder::next_drive_into
 //! [`read_chunk_into`]: TraceDecoder::read_chunk_into
 //! [`next_drive_columns`]: TraceDecoder::next_drive_columns

@@ -13,6 +13,9 @@ cargo build --offline
 echo "== static analysis: ssd-lint (all rules) =="
 scripts/lint.sh
 
+echo "== doc gate: rustdoc builds warning-free =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
 echo "== tier-1: release build =="
 cargo build --release --offline
 
@@ -22,7 +25,7 @@ cargo test -q --offline
 echo "== full workspace test suite =="
 cargo test -q --offline --workspace
 
-echo "== benches compile (all 13 targets) =="
+echo "== benches compile (all 14 targets) =="
 cargo bench --no-run --offline --workspace
 
 echo "== bench smoke: bench_sim (incl. encode_stream/decode_stream) + ML kernels + flat predict + history compare =="
@@ -58,6 +61,29 @@ if target/release/ssdpredict --trace "$smoke_dir/truncated.ssdfs" > /dev/null 2>
 fi
 if target/release/ssdpredict --trace "$smoke_dir/corrupt.ssdfs" > /dev/null 2>&1; then
   echo "ERROR: ssdpredict accepted a corrupt archive"; exit 1
+fi
+
+echo "== fleet service smoke: framed queries answered, malformed frames rejected =="
+# Frame = 4-byte little-endian length prefix + JSON body.
+frame() {
+  local body="$1" len=${#1}
+  # shellcheck disable=SC2059  # the format string is built from hex escapes
+  printf "$(printf '\\x%02x\\x%02x\\x%02x\\x%02x' \
+    "$((len & 0xff))" "$((len >> 8 & 0xff))" "$((len >> 16 & 0xff))" "$((len >> 24 & 0xff))")"
+  printf '%s' "$body"
+}
+{ frame '{"q":"info"}'; frame '[{"q":"summary"},{"q":"topk","k":3}]'; } \
+  | target/release/ssdserve --trace "$smoke_dir/predict/trace.ssdfs" \
+      --shards 3 --trees 8 --seed 7 --lookahead 14 --sample-rate 0.5 \
+      > "$smoke_dir/serve_out.bin"
+serve_bytes="$(wc -c < "$smoke_dir/serve_out.bin")"
+if [ "$serve_bytes" -lt 8 ]; then
+  echo "ERROR: ssdserve produced no response frames"; exit 1
+fi
+if frame 'this is not json' \
+  | target/release/ssdserve --trace "$smoke_dir/predict/trace.ssdfs" \
+      --shards 2 --model none > /dev/null 2>&1; then
+  echo "ERROR: ssdserve accepted a malformed frame"; exit 1
 fi
 
 echo "== examples compile =="

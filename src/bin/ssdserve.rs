@@ -1,0 +1,188 @@
+//! Long-running sharded fleet service: load an archive once, answer many
+//! queries.
+//!
+//! ```text
+//! ssdserve --trace PATH [--horizon DAYS] [--shards N] [--queue-cap N]
+//!          [--model forest|gbdt|none] [--trees T] [--seed S]
+//!          [--lookahead N] [--sample-rate R] [--socket PATH]
+//! ```
+//!
+//! Startup makes two streaming passes over the trace: train a flattened
+//! risk scorer (unless `--model none`), then deal drives round-robin onto
+//! `--shards` resident workers. After the `ready` line on stderr, the
+//! service answers length-prefixed JSON request frames (see
+//! `ssd_field_study_core::serve::protocol`) on stdin/stdout — or, with
+//! `--socket`, accepts concurrent connections on a Unix socket, where
+//! co-arriving requests from different clients coalesce into shared shard
+//! passes.
+//!
+//! Responses are byte-identical for any `--shards` value and any client
+//! interleaving. Malformed frames get a typed error frame and a nonzero
+//! exit (stdio mode) or a closed connection (socket mode).
+
+#![forbid(unsafe_code)]
+
+use ssd_field_study_core::serve::{
+    serve_connection, FleetService, Responder, ScorerSpec, ServeConfig,
+};
+use ssd_types::source::TraceSource;
+use std::sync::Arc;
+
+type BinError = Box<dyn std::error::Error>;
+
+struct Args {
+    trace: String,
+    horizon: Option<u32>,
+    shards: usize,
+    queue_cap: usize,
+    model: String,
+    trees: usize,
+    seed: u64,
+    lookahead: u32,
+    sample_rate: f64,
+    socket: Option<String>,
+}
+
+fn parse_args() -> Result<Args, BinError> {
+    let mut args = Args {
+        trace: String::new(),
+        horizon: None,
+        shards: 4,
+        queue_cap: 16,
+        model: "forest".into(),
+        trees: 30,
+        seed: 0,
+        lookahead: 7,
+        sample_rate: 1.0,
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--trace" => args.trace = next("--trace")?,
+            "--horizon" => {
+                args.horizon = Some(
+                    next("--horizon")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
+            }
+            "--shards" => {
+                args.shards = next("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--queue-cap" => {
+                args.queue_cap = next("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--model" => args.model = next("--model")?,
+            "--trees" => {
+                args.trees = next("--trees")?
+                    .parse()
+                    .map_err(|e| format!("--trees: {e}"))?
+            }
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--lookahead" => {
+                args.lookahead = next("--lookahead")?
+                    .parse()
+                    .map_err(|e| format!("--lookahead: {e}"))?
+            }
+            "--sample-rate" => {
+                args.sample_rate = next("--sample-rate")?
+                    .parse()
+                    .map_err(|e| format!("--sample-rate: {e}"))?
+            }
+            "--socket" => args.socket = Some(next("--socket")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ssdserve --trace PATH [--horizon DAYS] [--shards N] \
+                     [--queue-cap N] [--model forest|gbdt|none] [--trees T] [--seed S] \
+                     [--lookahead N] [--sample-rate R] [--socket PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+    }
+    if args.trace.is_empty() {
+        return Err("--trace is required".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn scorer_spec(args: &Args) -> Result<ScorerSpec, BinError> {
+    match args.model.as_str() {
+        "forest" => Ok(ScorerSpec::Forest { trees: args.trees }),
+        "gbdt" => Ok(ScorerSpec::Gbdt { trees: args.trees }),
+        "none" => Ok(ScorerSpec::None),
+        other => Err(format!("unknown model '{other}' (use forest|gbdt|none)").into()),
+    }
+}
+
+fn run() -> Result<(), BinError> {
+    let args = parse_args()?;
+    let source = TraceSource::from_path(&args.trace, args.horizon)?;
+    let cfg = ServeConfig {
+        shards: args.shards,
+        queue_cap: args.queue_cap,
+        scorer: scorer_spec(&args)?,
+        lookahead_days: args.lookahead,
+        sample_rate: args.sample_rate,
+        seed: args.seed,
+    };
+    let service = Arc::new(FleetService::load(&source, &cfg)?);
+    let meta = service.meta();
+    eprintln!(
+        "ready: {} drives / {} drive-days on {} shards (scorer: {})",
+        meta.n_drives,
+        meta.drive_days,
+        meta.n_shards,
+        meta.scorer.unwrap_or("none"),
+    );
+
+    match &args.socket {
+        Some(path) => serve_socket(path, service, args.queue_cap),
+        None => {
+            // stdio mode: one client, answered in-thread.
+            let responder = Responder::Direct(service);
+            let mut stdin = std::io::stdin().lock();
+            let mut stdout = std::io::stdout().lock();
+            serve_connection(&responder, &mut stdin, &mut stdout)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(unix)]
+fn serve_socket(path: &str, service: Arc<FleetService>, queue_cap: usize) -> Result<(), BinError> {
+    use ssd_field_study_core::serve::server::serve_unix;
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| format!("bind {path}: {e}"))?;
+    eprintln!("listening on {path}");
+    serve_unix(&listener, service, queue_cap)?;
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_path: &str, _service: Arc<FleetService>, _queue_cap: usize) -> Result<(), BinError> {
+    Err("--socket requires a Unix platform; use stdio mode".into())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ssdserve: {e}");
+        std::process::exit(1);
+    }
+}

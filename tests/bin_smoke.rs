@@ -412,3 +412,161 @@ fn ssdpredict_never_panics_on_byte_mutated_archives() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Builds one length-prefixed request frame.
+fn serve_frame(body: &[u8]) -> Vec<u8> {
+    let mut f = (body.len() as u32).to_le_bytes().to_vec();
+    f.extend_from_slice(body);
+    f
+}
+
+/// Splits a response stream back into frame bodies.
+fn serve_split(mut bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    while bytes.len() >= 4 {
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        frames.push(bytes[4..4 + len].to_vec());
+        bytes = &bytes[4 + len..];
+    }
+    assert!(bytes.is_empty(), "trailing partial frame");
+    frames
+}
+
+fn run_ssdserve(trace: &std::path::Path, extra: &[&str], input: &[u8]) -> std::process::Output {
+    use std::io::Write;
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ssdserve"));
+    cmd.args(["--trace", trace.to_str().unwrap()])
+        .args(extra)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn ssdserve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input)
+        .expect("write requests");
+    child.wait_with_output().expect("collect ssdserve output")
+}
+
+#[test]
+fn ssdserve_answers_queries_over_stdio() {
+    let dir = scratch("serve_stdio");
+    gen_predict_trace(&dir);
+    let mut input = Vec::new();
+    input.extend(serve_frame(br#"{"q":"info"}"#));
+    input.extend(serve_frame(br#"[{"q":"summary"},{"q":"topk","k":3}]"#));
+    let out = run_ssdserve(
+        &dir.join("trace.ssdfs"),
+        &["--shards", "3", "--lookahead", "14", "--sample-rate", "0.5", "--trees", "8", "--seed", "7"],
+        &input,
+    );
+    assert!(out.status.success(), "stderr:\n{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ready:"), "missing ready line:\n{stderr}");
+    let frames = serve_split(&out.stdout);
+    assert_eq!(frames.len(), 2, "one response frame per request frame");
+    let info = json::parse(std::str::from_utf8(&frames[0]).unwrap()).expect("info json");
+    assert_eq!(
+        info.get("shards").and_then(json::Value::as_u64),
+        Some(3),
+        "info must echo the shard count"
+    );
+    let batch = json::parse(std::str::from_utf8(&frames[1]).unwrap()).expect("batch json");
+    let json::Value::Arr(items) = batch else {
+        panic!("array frame must get an array response")
+    };
+    assert_eq!(items.len(), 2);
+    assert!(items[0].get("drives").is_some(), "summary answer");
+    assert!(items[1].get("drives").is_some(), "topk answer");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdserve_rejects_malformed_frames_with_typed_error_and_nonzero_exit() {
+    let dir = scratch("serve_malformed");
+    gen_trace(&dir, "bin");
+    let mut input = serve_frame(br#"{"q":"info"}"#);
+    input.extend(serve_frame(b"{this is not json"));
+    let out = run_ssdserve(&dir.join("trace.ssdfs"), &["--model", "none"], &input);
+    assert!(!out.status.success(), "malformed frame must exit nonzero");
+    let frames = serve_split(&out.stdout);
+    assert_eq!(frames.len(), 2, "info answer then error frame");
+    let err = json::parse(std::str::from_utf8(&frames[1]).unwrap()).expect("error json");
+    assert_eq!(
+        err.get("err")
+            .and_then(|e| e.get("kind"))
+            .and_then(json::Value::as_str),
+        Some("invalid-json")
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ssdserve_serves_concurrent_unix_socket_clients() {
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    let dir = scratch("serve_socket");
+    gen_trace(&dir, "bin");
+    let sock = dir.join("ssdserve.sock");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ssdserve"))
+        .args([
+            "--trace",
+            dir.join("trace.ssdfs").to_str().unwrap(),
+            "--model",
+            "none",
+            "--shards",
+            "2",
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn ssdserve");
+    // Wait for the socket to appear (startup trains nothing here).
+    let mut waited = 0;
+    while !sock.exists() && waited < 100 {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        waited += 1;
+    }
+    assert!(sock.exists(), "socket never appeared");
+
+    let ask = |body: &[u8]| -> Vec<u8> {
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        stream.write_all(&serve_frame(body)).expect("send");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).expect("receive");
+        let frames = serve_split(&reply);
+        assert_eq!(frames.len(), 1);
+        frames.into_iter().next().unwrap()
+    };
+
+    let solo = ask(br#"{"q":"summary"}"#);
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let sockpath = sock.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut stream = UnixStream::connect(&sockpath).expect("connect");
+            stream
+                .write_all(&serve_frame(br#"{"q":"summary"}"#))
+                .expect("send");
+            stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+            let mut reply = Vec::new();
+            stream.read_to_end(&mut reply).expect("receive");
+            serve_split(&reply).into_iter().next().unwrap()
+        }));
+    }
+    for h in handles {
+        assert_eq!(
+            h.join().expect("client"),
+            solo,
+            "concurrent socket clients must get solo-identical bytes"
+        );
+    }
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
