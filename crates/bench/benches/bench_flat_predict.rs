@@ -16,7 +16,7 @@ use ssd_ml::{
     BatchScorer, Classifier, Dataset, FlatForest, FlatGbdt, ForestConfig, Gbdt, GbdtConfig,
     RandomForest,
 };
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_sim::{FleetGen, SimConfig};
 use ssd_stats::SplitMix64;
 
 /// The `forest_50`-scale batch: ~2k rows, 31 features, nonlinear
@@ -72,11 +72,13 @@ fn bench_flat_vs_pointer(c: &mut Criterion) {
 fn bench_fleet_day(c: &mut Criterion) {
     // A small fleet's full history feeds the online state; the timed
     // region is exactly one whole-fleet scoring call.
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 400,
         horizon_days: 730,
         seed: 11,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     let data = build_dataset(
         &trace,
         &ExtractOptions {

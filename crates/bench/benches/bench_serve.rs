@@ -8,19 +8,33 @@
 //! array frame (summary, survival, hazard, top-k) answered in a single
 //! coalesced shard pass. Response bytes are byte-identical at every shard
 //! count (`tests/serve.rs`), so these differ only in wall-clock.
+//!
+//! The `shard_pass` group isolates the unit those end-to-end numbers are
+//! built from: one shard's `ShardState::execute` over its resident
+//! drives, with no pool broadcast, queueing, or merge around it. Reading
+//! `shard_pass_*` against `serve_*` separates per-shard compute from
+//! coordination overhead.
 
 use ssd_bench::{criterion_group, criterion_main, Criterion};
-use ssd_field_study_core::serve::{FleetService, ScorerSpec, ServeConfig};
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_field_study_core::features::{build_dataset, ExtractOptions};
+use ssd_field_study_core::serve::shard::{PassPlan, ShardState};
+use ssd_field_study_core::serve::{FleetService, Request, ScorerSpec, ServeConfig};
+use ssd_ml::{FlatForest, ForestConfig, RandomForest};
+use ssd_sim::{FleetGen, SimConfig};
 use ssd_types::source::TraceSource;
+use std::sync::Arc;
 
-fn service(shards: usize) -> FleetService {
-    let trace = generate_fleet(&SimConfig {
+fn bench_cfg() -> SimConfig {
+    SimConfig {
         drives_per_model: 150,
         horizon_days: 730,
         seed: 11,
-    });
-    let source = TraceSource::InMemory(trace);
+        ..SimConfig::default()
+    }
+}
+
+fn service(shards: usize) -> FleetService {
+    let source = TraceSource::InMemory(FleetGen::new(&bench_cfg()).trace());
     let cfg = ServeConfig {
         shards,
         scorer: ScorerSpec::Forest { trees: 20 },
@@ -59,5 +73,55 @@ fn bench_serve(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_serve);
+/// One shard's `execute()` pass in isolation: the same fleet dealt
+/// round-robin onto two shards exactly as `FleetService::load` does, the
+/// same 20-tree flattened forest, but no pool broadcast or merge. The
+/// per-shard wall time these ids report is the compute floor under the
+/// end-to-end `serve_*` latencies above.
+fn bench_shard_pass(c: &mut Criterion) {
+    let sim = bench_cfg();
+    let trace = FleetGen::new(&sim).trace();
+    let opts = ExtractOptions {
+        lookahead_days: 7,
+        negative_sample_rate: 0.5,
+        seed: 7,
+        ..Default::default()
+    };
+    let data = build_dataset(&trace, &opts);
+    let forest = RandomForest::fit(
+        &ForestConfig {
+            n_trees: 20,
+            ..Default::default()
+        },
+        &data,
+        7,
+    );
+    let scorer: Arc<dyn ssd_ml::BatchScorer> = Arc::new(FlatForest::from_forest(&forest));
+    let mut shards = [
+        ShardState::new(sim.horizon_days, Some(scorer.clone())),
+        ShardState::new(sim.horizon_days, Some(scorer)),
+    ];
+    for (i, drive) in trace.drives.into_iter().enumerate() {
+        shards[i % 2].push_drive(drive);
+    }
+    let shard = &shards[0];
+
+    let summary = PassPlan::for_requests(&[Request::Summary]);
+    let topk = PassPlan::for_requests(&[Request::TopK { k: 50 }]);
+    let mixed = PassPlan::for_requests(&[
+        Request::Summary,
+        Request::Survival,
+        Request::Hazard { bin_days: 30 },
+        Request::TopK { k: 50 },
+    ]);
+
+    let mut g = c.benchmark_group("shard_pass");
+    g.sample_size(20);
+    g.bench_function("shard_pass_summary", |b| b.iter(|| shard.execute(&summary)));
+    g.bench_function("shard_pass_topk", |b| b.iter(|| shard.execute(&topk)));
+    g.bench_function("shard_pass_mixed", |b| b.iter(|| shard.execute(&mixed)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_shard_pass);
 criterion_main!(benches);

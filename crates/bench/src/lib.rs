@@ -14,7 +14,7 @@ pub use harness::{
     bench_history_dir, BatchSize, BenchRecord, BenchRunLog, BenchmarkGroup, Bencher, Criterion,
 };
 
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_sim::{FleetGen, SimConfig};
 use ssd_types::FleetTrace;
 use std::sync::OnceLock;
 
@@ -23,11 +23,13 @@ use std::sync::OnceLock;
 pub fn bench_trace() -> &'static FleetTrace {
     static TRACE: OnceLock<FleetTrace> = OnceLock::new();
     TRACE.get_or_init(|| {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 150,
             horizon_days: 1800,
             seed: 8080,
+            ..SimConfig::default()
         })
+        .trace()
     })
 }
 
@@ -35,11 +37,13 @@ pub fn bench_trace() -> &'static FleetTrace {
 pub fn small_trace() -> &'static FleetTrace {
     static TRACE: OnceLock<FleetTrace> = OnceLock::new();
     TRACE.get_or_init(|| {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 120,
             horizon_days: 1500,
             seed: 9090,
+            ..SimConfig::default()
         })
+        .trace()
     })
 }
 

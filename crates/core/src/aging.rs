@@ -194,14 +194,16 @@ pub fn wear_at_failure(trace: &FleetTrace) -> WearAtFailure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
 
     fn trace() -> FleetTrace {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 400,
             horizon_days: 2190,
             seed: 99,
+            ..SimConfig::default()
         })
+        .trace()
     }
 
     #[test]

@@ -249,14 +249,16 @@ impl CorrelationMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
 
     fn small_trace() -> FleetTrace {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 120,
             horizon_days: 1200,
             seed: 31,
+            ..SimConfig::default()
         })
+        .trace()
     }
 
     #[test]

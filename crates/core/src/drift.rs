@@ -159,14 +159,16 @@ impl DriftReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
 
     fn fleet(seed: u64, drives: u32) -> FleetTrace {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: drives,
             horizon_days: 1500,
             seed,
+            ..SimConfig::default()
         })
+        .trace()
     }
 
     #[test]

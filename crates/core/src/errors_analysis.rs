@@ -208,14 +208,16 @@ pub fn pre_failure_errors(trace: &FleetTrace) -> PreFailureErrors {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
 
     fn trace() -> FleetTrace {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 500,
             horizon_days: 2190,
             seed: 101,
+            ..SimConfig::default()
         })
+        .trace()
     }
 
     #[test]

@@ -355,14 +355,16 @@ pub fn lifecycle_series(trace: &FleetTrace) -> Vec<Series> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
 
     fn trace() -> FleetTrace {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 400,
             horizon_days: 2190,
             seed: 77,
+            ..SimConfig::default()
         })
+        .trace()
     }
 
     #[test]

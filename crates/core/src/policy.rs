@@ -154,7 +154,7 @@ mod tests {
     use crate::predict::test_support::shared_trace;
     use crate::PredictConfig;
     use ssd_ml::{downsample_majority, Trainer};
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
 
     fn trained_model() -> Box<dyn Classifier> {
         let cfg = PredictConfig::fast(30);
@@ -167,11 +167,13 @@ mod tests {
     #[test]
     fn policy_beats_reactive_at_reasonable_thresholds() {
         let model = trained_model();
-        let deploy = generate_fleet(&SimConfig {
+        let deploy = FleetGen::new(&SimConfig {
             drives_per_model: 250,
             horizon_days: 2190,
             seed: 777, // disjoint from the training fleet
-        });
+            ..SimConfig::default()
+        })
+        .trace();
         let outcomes = evaluate_policy(
             model.as_ref(),
             &deploy,
@@ -197,11 +199,13 @@ mod tests {
     #[test]
     fn higher_threshold_means_fewer_alerts() {
         let model = trained_model();
-        let deploy = generate_fleet(&SimConfig {
+        let deploy = FleetGen::new(&SimConfig {
             drives_per_model: 150,
             horizon_days: 1500,
             seed: 888,
-        });
+            ..SimConfig::default()
+        })
+        .trace();
         let outcomes = evaluate_policy(
             model.as_ref(),
             &deploy,

@@ -93,7 +93,7 @@ pub fn six_model_trainers() -> Vec<Box<dyn Trainer>> {
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, SimConfig};
     use ssd_types::FleetTrace;
     use std::sync::OnceLock;
 
@@ -101,11 +101,13 @@ pub(crate) mod test_support {
     pub fn shared_trace() -> &'static FleetTrace {
         static TRACE: OnceLock<FleetTrace> = OnceLock::new();
         TRACE.get_or_init(|| {
-            generate_fleet(&SimConfig {
+            FleetGen::new(&SimConfig {
                 drives_per_model: 500,
                 horizon_days: 2190,
-                seed: 2024,
+                seed: 8,
+                ..SimConfig::default()
             })
+            .trace()
         })
     }
 }

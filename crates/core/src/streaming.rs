@@ -72,6 +72,33 @@ pub struct StreamSummary {
     pub non_operational: Ecdf,
     /// Figure 5, identical to `lifecycle::time_to_repair_ecdf`.
     pub time_to_repair: Ecdf,
+    /// Importance-weighted population estimates; `Some` only when at least
+    /// one observed drive carried a non-zero log-weight (i.e. the archive
+    /// came from an importance-sampled fleet). For uniform fleets the raw
+    /// tallies above already estimate the population and this is `None`.
+    pub weighted: Option<WeightedSummary>,
+}
+
+/// Horvitz–Thompson estimates over an importance-sampled fleet: every
+/// tally weights each drive by `exp(log_weight)`, recovering the
+/// statistics a uniformly sampled fleet of the same seed would show (the
+/// equivalence is pinned, with tolerances, by `tests/fastforward.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSummary {
+    /// Σ exp(log_weight): the estimated number of population drives the
+    /// sample stands in for.
+    pub effective_drives: f64,
+    /// Per model, in [`DriveModel::ALL`] order:
+    /// `(name, weighted swap events, weighted drives, weighted fraction of
+    /// drives that ever failed)` — the weighted analogue of Table 3.
+    pub per_model: Vec<(String, f64, f64, f64)>,
+    /// Weighted fleet-wide fraction of drives that ever failed.
+    pub total_failed_fraction: f64,
+    /// Weighted swap events per drive across the fleet (the swap *rate*).
+    pub swaps_per_drive: f64,
+    /// Weighted error day-probabilities per [`ErrorKind`] per model — the
+    /// weighted analogue of Table 1.
+    pub error_rates: Vec<[f64; 3]>,
 }
 
 /// Per-drive fold state behind [`StreamSummary`].
@@ -99,6 +126,16 @@ pub struct SummaryAccumulator {
     non_operational_days: Vec<f64>,
     repair_days: Vec<f64>,
     repairs_censored: u64,
+    // Importance-weighted parallel tallies (w = exp(log_weight) per
+    // drive). Exact duplicates of the integer tallies when every drive is
+    // uniform (w = 1), in which case `finish` omits the weighted section.
+    saw_nonzero_weight: bool,
+    w_drives: f64,
+    w_model_drives: [f64; 3],
+    w_model_failures: [f64; 3],
+    w_model_failed_drives: [f64; 3],
+    w_days: [f64; 3],
+    w_error_days: [[f64; 3]; ErrorKind::COUNT],
 }
 
 impl Default for SummaryAccumulator {
@@ -123,6 +160,13 @@ impl SummaryAccumulator {
             non_operational_days: Vec::new(),
             repair_days: Vec::new(),
             repairs_censored: 0,
+            saw_nonzero_weight: false,
+            w_drives: 0.0,
+            w_model_drives: [0.0; 3],
+            w_model_failures: [0.0; 3],
+            w_model_failed_drives: [0.0; 3],
+            w_days: [0.0; 3],
+            w_error_days: [[0.0; 3]; ErrorKind::COUNT],
         }
     }
 
@@ -148,12 +192,26 @@ impl SummaryAccumulator {
         }
         self.count_of[k] += 1;
 
+        // Weighted parallels (Horvitz–Thompson).
+        let w = d.log_weight.exp();
+        if d.log_weight.to_bits() != 0 {
+            self.saw_nonzero_weight = true;
+        }
+        self.w_drives += w;
+        self.w_model_drives[m] += w;
+        self.w_model_failures[m] += w * d.swaps.len() as f64;
+        if d.ever_failed() {
+            self.w_model_failed_drives[m] += w;
+        }
+        self.w_days[m] += w * d.reports.len() as f64;
+
         // Table 1.
         self.days[m] += d.reports.len() as u64;
         for r in &d.reports {
             for (kind, c) in r.errors.iter() {
                 if c > 0 {
                     self.error_days[kind.index()][m] += 1;
+                    self.w_error_days[kind.index()][m] += w;
                 }
             }
         }
@@ -199,6 +257,19 @@ impl SummaryAccumulator {
             .extend_from_slice(&other.non_operational_days);
         self.repair_days.extend_from_slice(&other.repair_days);
         self.repairs_censored += other.repairs_censored;
+        self.saw_nonzero_weight |= other.saw_nonzero_weight;
+        self.w_drives += other.w_drives;
+        for m in 0..3 {
+            self.w_model_drives[m] += other.w_model_drives[m];
+            self.w_model_failures[m] += other.w_model_failures[m];
+            self.w_model_failed_drives[m] += other.w_model_failed_drives[m];
+            self.w_days[m] += other.w_days[m];
+        }
+        for k in 0..ErrorKind::COUNT {
+            for m in 0..3 {
+                self.w_error_days[k][m] += other.w_error_days[k][m];
+            }
+        }
     }
 
     /// Number of drives observed so far.
@@ -261,6 +332,55 @@ impl SummaryAccumulator {
             error_incidence: ErrorIncidence { rates },
             non_operational: Ecdf::new(&self.non_operational_days),
             time_to_repair: Ecdf::with_censored(&self.repair_days, self.repairs_censored),
+            weighted: self.saw_nonzero_weight.then(|| self.finish_weighted()),
+        }
+    }
+
+    fn finish_weighted(&self) -> WeightedSummary {
+        let mut per_model = Vec::new();
+        let mut total_failed = 0.0;
+        let mut total_failures = 0.0;
+        for m in DriveModel::ALL {
+            let i = m.index();
+            let drives = self.w_model_drives[i];
+            per_model.push((
+                m.name().to_string(),
+                self.w_model_failures[i],
+                drives,
+                if drives > 0.0 {
+                    self.w_model_failed_drives[i] / drives
+                } else {
+                    0.0
+                },
+            ));
+            total_failed += self.w_model_failed_drives[i];
+            total_failures += self.w_model_failures[i];
+        }
+        let error_rates = (0..ErrorKind::COUNT)
+            .map(|k| {
+                let mut row = [0.0; 3];
+                for m in 0..3 {
+                    if self.w_days[m] > 0.0 {
+                        row[m] = self.w_error_days[k][m] / self.w_days[m];
+                    }
+                }
+                row
+            })
+            .collect();
+        WeightedSummary {
+            effective_drives: self.w_drives,
+            per_model,
+            total_failed_fraction: if self.w_drives > 0.0 {
+                total_failed / self.w_drives
+            } else {
+                0.0
+            },
+            swaps_per_drive: if self.w_drives > 0.0 {
+                total_failures / self.w_drives
+            } else {
+                0.0
+            },
+            error_rates,
         }
     }
 }
@@ -269,15 +389,17 @@ impl SummaryAccumulator {
 mod tests {
     use super::*;
     use crate::{characterize, lifecycle};
-    use ssd_sim::{generate_fleet, SimConfig};
+    use ssd_sim::{FleetGen, Sampling, SimConfig};
     use ssd_types::FleetTrace;
 
     fn trace() -> FleetTrace {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 200,
             horizon_days: 2190,
             seed: 77,
+            ..SimConfig::default()
         })
+        .trace()
     }
 
     fn assert_matches_resident(summary: &StreamSummary, t: &FleetTrace) {
@@ -347,5 +469,106 @@ mod tests {
         assert_eq!(s.failure_incidence.total_failed_fraction, 0.0);
         assert_eq!(s.failure_counts.count_of, vec![0]);
         assert_eq!(s.non_operational.n_finite(), 0);
+        assert!(s.weighted.is_none());
+    }
+
+    #[test]
+    fn uniform_fleets_omit_the_weighted_section() {
+        let t = trace();
+        let mut acc = SummaryAccumulator::new();
+        for d in &t.drives {
+            acc.observe(d);
+        }
+        assert!(acc.finish().weighted.is_none());
+    }
+
+    #[test]
+    fn weighted_tallies_track_exp_log_weight() {
+        // Give one drive weight 2 (log-weight ln 2) and leave the rest at
+        // unit weight: the effective fleet size must grow by exactly one.
+        let t = trace();
+        let mut acc = SummaryAccumulator::new();
+        for (i, d) in t.drives.iter().enumerate() {
+            let mut d = d.clone();
+            if i == 0 {
+                d.log_weight = (2.0f64).ln();
+            }
+            acc.observe(&d);
+        }
+        let s = acc.finish();
+        let w = s.weighted.expect("non-zero weight must produce a section");
+        // One drive double-counted: effective fleet is n_drives + 1.
+        assert!((w.effective_drives - (t.n_drives() as f64 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importance_weighted_incidence_tracks_uniform_ground_truth() {
+        let cfg = SimConfig {
+            drives_per_model: 400,
+            horizon_days: 2190,
+            seed: 913,
+            ..SimConfig::default()
+        };
+        let uniform = FleetGen::new(&cfg).trace();
+        let boosted = FleetGen::new(&cfg)
+            .sampling(Sampling::Importance { boost: 4.0 })
+            .trace();
+
+        let fold = |t: &FleetTrace| {
+            let mut acc = SummaryAccumulator::new();
+            for d in &t.drives {
+                acc.observe(d);
+            }
+            acc.finish()
+        };
+        let u = fold(&uniform);
+        let b = fold(&boosted);
+        let w = b.weighted.expect("importance fleet must carry weights");
+
+        // Raw boosted incidence is inflated; the weighted estimate must
+        // come back near the uniform ground truth.
+        let truth = u.failure_incidence.total_failed_fraction;
+        let raw = b.failure_incidence.total_failed_fraction;
+        assert!(raw > truth, "boost must visibly inflate raw incidence");
+        assert!(
+            (w.total_failed_fraction - truth).abs() < 0.35 * truth,
+            "weighted {} vs uniform {}",
+            w.total_failed_fraction,
+            truth
+        );
+        // Effective drive count stays near the real sample size.
+        assert!((w.effective_drives - boosted.n_drives() as f64).abs() < 0.1 * w.effective_drives);
+    }
+
+    #[test]
+    fn weighted_section_merges_like_raw_tallies() {
+        let cfg = SimConfig {
+            drives_per_model: 100,
+            horizon_days: 1200,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let t = FleetGen::new(&cfg)
+            .sampling(Sampling::Importance { boost: 5.0 })
+            .trace();
+        let mut whole = SummaryAccumulator::new();
+        for d in &t.drives {
+            whole.observe(d);
+        }
+        let mid = t.drives.len() / 2;
+        let mut a = SummaryAccumulator::new();
+        let mut b = SummaryAccumulator::new();
+        for d in &t.drives[..mid] {
+            a.observe(d);
+        }
+        for d in &t.drives[mid..] {
+            b.observe(d);
+        }
+        a.merge(&b);
+        let sw = whole.finish().weighted.unwrap();
+        let sm = a.finish().weighted.unwrap();
+        assert!((sw.effective_drives - sm.effective_drives).abs() < 1e-9);
+        assert!((sw.total_failed_fraction - sm.total_failed_fraction).abs() < 1e-12);
+        assert!((sw.swaps_per_drive - sm.swaps_per_drive).abs() < 1e-12);
     }
 }

@@ -50,7 +50,7 @@ pub use gbdt::{Gbdt, GbdtConfig};
 pub use gridsearch::{grid_search, GridSearchResult};
 pub use knn::{Knn, KnnConfig};
 pub use linear::{LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig};
-pub use metrics::{average_precision, roc_auc, Confusion, RocCurve, RocPoint};
+pub use metrics::{average_precision, roc_auc, roc_auc_weighted, Confusion, RocCurve, RocPoint};
 pub use nn::{Mlp, MlpConfig};
 pub use split::{downsample_majority, grouped_kfold};
 pub use split_kernel::{PresortedDataset, SplitChoice, TreeScratch};

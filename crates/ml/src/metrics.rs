@@ -125,6 +125,51 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     u / (n_pos as f64 * n_neg as f64)
 }
 
+/// Weighted ROC AUC: the Mann–Whitney statistic over weighted pairs,
+/// `Σ wᵢwⱼ·[sᵢ > sⱼ] + ½·Σ wᵢwⱼ·[sᵢ = sⱼ]` over (positive i, negative j),
+/// normalized by total positive × negative weight.
+///
+/// Used with importance-sampled fleets, where each example carries its
+/// drive's `exp(log_weight)`: the weighted AUC estimates the AUC the
+/// uniformly sampled population would produce. With all weights `1.0`
+/// this agrees with [`roc_auc`] (same tie convention — equal scores count
+/// half). O(n log n): one sort, one sweep over score tie groups.
+pub fn roc_auc_weighted(scores: &[f64], labels: &[bool], weights: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    assert_eq!(scores.len(), weights.len());
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut concordant = 0.0f64;
+    let mut w_pos_total = 0.0f64;
+    let mut w_neg_below = 0.0f64; // negatives with strictly smaller score
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i + 1;
+        while j < idx.len() && scores[idx[j]] == scores[idx[i]] {
+            j += 1;
+        }
+        let mut w_pos_group = 0.0;
+        let mut w_neg_group = 0.0;
+        for &k in &idx[i..j] {
+            if labels[k] {
+                w_pos_group += weights[k];
+            } else {
+                w_neg_group += weights[k];
+            }
+        }
+        concordant += w_pos_group * (w_neg_below + 0.5 * w_neg_group);
+        w_pos_total += w_pos_group;
+        w_neg_below += w_neg_group;
+        i = j;
+    }
+    let w_neg_total = w_neg_below;
+    assert!(
+        w_pos_total > 0.0 && w_neg_total > 0.0,
+        "AUC needs both classes present with positive weight"
+    );
+    concordant / (w_pos_total * w_neg_total)
+}
+
 /// Confusion counts at a fixed threshold (score ≥ threshold → positive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Confusion {
@@ -329,5 +374,55 @@ mod tests {
     #[should_panic(expected = "both classes")]
     fn single_class_panics() {
         roc_auc(&[0.1, 0.2], &[true, true]);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_auc() {
+        let scores = [0.3, 0.7, 0.7, 0.2, 0.9, 0.3, 0.5, 0.5];
+        let labels = [false, true, false, false, true, true, false, true];
+        let w = vec![1.0; scores.len()];
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc_weighted(&scores, &labels, &w);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn integer_weights_equal_repetition_auc() {
+        let scores = [0.8, 0.4, 0.6, 0.2, 0.5];
+        let labels = [true, true, false, false, true];
+        let weights = [2.0, 1.0, 3.0, 1.0, 2.0];
+        let mut exp_scores = Vec::new();
+        let mut exp_labels = Vec::new();
+        for i in 0..scores.len() {
+            for _ in 0..weights[i] as usize {
+                exp_scores.push(scores[i]);
+                exp_labels.push(labels[i]);
+            }
+        }
+        let a = roc_auc_weighted(&scores, &labels, &weights);
+        let b = roc_auc(&exp_scores, &exp_labels);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn weighted_constant_scores_auc_is_half() {
+        let scores = [0.5; 4];
+        let labels = [true, false, true, false];
+        let weights = [0.2, 3.0, 1.5, 0.7];
+        let a = roc_auc_weighted(&scores, &labels, &weights);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_examples_are_ignored() {
+        // A wrongly-ranked positive with zero weight must not move the AUC.
+        let a = roc_auc_weighted(&[0.9, 0.2], &[true, false], &[1.0, 1.0]);
+        let b = roc_auc_weighted(
+            &[0.9, 0.2, 0.1],
+            &[true, false, true],
+            &[1.0, 1.0, 0.0],
+        );
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
     }
 }

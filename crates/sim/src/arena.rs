@@ -36,6 +36,7 @@ pub struct ReportArena {
     grown_bad_blocks: Vec<u32>,
     errors: [Vec<u64>; ErrorKind::COUNT],
     swaps: Vec<SwapEvent>,
+    log_weight: f64,
 }
 
 impl ReportArena {
@@ -76,6 +77,13 @@ impl ReportArena {
             col.clear();
         }
         self.swaps.clear();
+        self.log_weight = 0.0;
+    }
+
+    /// The buffered drive's importance-sampling log-weight (`0.0` unless
+    /// the generator reported one via [`ReportSink::weight`]).
+    pub fn log_weight(&self) -> f64 {
+        self.log_weight
     }
 
     /// Borrowed struct-of-arrays view over the buffered reports, ready for
@@ -113,6 +121,10 @@ impl ReportSink for ReportArena {
         for col in &mut self.errors {
             col.reserve(additional);
         }
+    }
+
+    fn weight(&mut self, log_weight: f64) {
+        self.log_weight = log_weight;
     }
 
     fn report(&mut self, r: &DailyReport) {
@@ -172,7 +184,7 @@ mod tests {
 
         // And the encoded bytes agree with the owned-log encoder.
         let mut soa = Vec::new();
-        encode_drive_soa(&mut soa, log.id, log.model, cols, arena.swaps());
+        encode_drive_soa(&mut soa, log.id, log.model, arena.log_weight(), cols, arena.swaps());
         let trace = ssd_types::FleetTrace {
             horizon_days: 1500,
             drives: vec![log],

@@ -30,6 +30,11 @@ pub const LATE_DEPLOY_END_DAYS: u32 = 2010;
 /// Daily probability that a report is recorded (small random log gaps make
 /// Figure 1's "Data Count" CDF sit left of "Max Age").
 pub const REPORT_PROBABILITY: f64 = 0.97;
+/// [`REPORT_PROBABILITY`] expressed in permille — the calibrated default
+/// for [`crate::SimConfig::report_permille`]. Event-sparse configurations
+/// (fast-forward benchmarks) lower it; the emission schedule clamps to
+/// `1..=1000`.
+pub const DEFAULT_REPORT_PERMILLE: u32 = 970;
 /// Daily probability that a multi-day logging gap starts.
 pub const GAP_START_PROBABILITY: f64 = 0.004;
 /// Maximum length (days) of a random logging gap.

@@ -1,6 +1,6 @@
 //! Fleet-simulation configuration.
 
-use crate::calibration::HORIZON_DAYS;
+use crate::calibration::{DEFAULT_REPORT_PERMILLE, HORIZON_DAYS};
 
 /// Configuration for generating a synthetic fleet trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,9 +12,20 @@ pub struct SimConfig {
     pub horizon_days: u32,
     /// Master seed; every drive derives an independent stream from it.
     pub seed: u64,
+    /// Probability (in permille, clamped to `1..=1000`) that an
+    /// operational day emits a report. The calibrated field value is
+    /// [`DEFAULT_REPORT_PERMILLE`] (= 970, Figure 1's Data Count < Max
+    /// Age gap); event-sparse benchmarks lower it to make fast-forward
+    /// spans long.
+    pub report_permille: u32,
 }
 
-ssd_types::impl_json_struct!(SimConfig { drives_per_model, horizon_days, seed });
+ssd_types::impl_json_struct!(SimConfig {
+    drives_per_model,
+    horizon_days,
+    seed,
+    report_permille
+});
 
 impl SimConfig {
     /// Paper-scale fleet: 10,000 drives per model over six years.
@@ -24,6 +35,7 @@ impl SimConfig {
             drives_per_model: 10_000,
             horizon_days: HORIZON_DAYS,
             seed,
+            report_permille: DEFAULT_REPORT_PERMILLE,
         }
     }
 
@@ -34,6 +46,7 @@ impl SimConfig {
             drives_per_model: 2_000,
             horizon_days: HORIZON_DAYS,
             seed,
+            report_permille: DEFAULT_REPORT_PERMILLE,
         }
     }
 
@@ -43,6 +56,7 @@ impl SimConfig {
             drives_per_model: 300,
             horizon_days: HORIZON_DAYS,
             seed,
+            report_permille: DEFAULT_REPORT_PERMILLE,
         }
     }
 

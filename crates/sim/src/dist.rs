@@ -84,6 +84,38 @@ pub fn geometric(rng: &mut SplitMix64, p: f64) -> u64 {
     (u.ln() / (1.0 - p).ln()).floor() as u64
 }
 
+/// A geometric sampler with the `ln(1 − p)` divisor precomputed, for hot
+/// paths that draw repeatedly at a fixed success probability (the report
+/// schedule draws one per emission and several per gap renewal).
+///
+/// Draw-for-draw bit-identical to [`geometric`]: the cached divisor is
+/// the *same* `f64` value the free function recomputes, and the `p = 1`
+/// short-circuit consumes no RNG state in either form.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    /// `ln(1 − p)`; `-∞` when `p = 1` (the always-zero distribution).
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Prepares a sampler for success probability `p` in `(0, 1]`.
+    pub fn new(p: f64) -> Self {
+        debug_assert!(p > 0.0 && p <= 1.0);
+        Geometric {
+            ln_q: (1.0 - p).ln(),
+        }
+    }
+
+    /// Draws one sample, consuming exactly one `next_f64` (none if `p = 1`).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if !self.ln_q.is_finite() {
+            return 0;
+        }
+        let u = (1.0 - rng.next_f64()).max(1e-300);
+        (u.ln() / self.ln_q).floor() as u64
+    }
+}
+
 /// A piecewise-linear inverse CDF defined by anchor points
 /// `(value, cumulative_probability)`.
 ///
@@ -224,6 +256,22 @@ mod tests {
         assert!((m - 4.0).abs() < 0.1, "mean {m}");
         let mut r = rng();
         assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn cached_geometric_is_draw_for_draw_identical() {
+        // The cached form must match the free function from identical RNG
+        // state — same values, same number of draws consumed — including
+        // the no-draw `p = 1` edge.
+        for p in [0.004, 0.002, 0.02, 0.37, 0.97, 1.0] {
+            let g = Geometric::new(p);
+            let mut ra = SplitMix64::for_stream(99, 5);
+            let mut rb = SplitMix64::for_stream(99, 5);
+            for _ in 0..2_000 {
+                assert_eq!(g.sample(&mut ra), geometric(&mut rb, p), "p={p}");
+                assert_eq!(ra.next_u64(), rb.next_u64(), "stream drift at p={p}");
+            }
+        }
     }
 
     #[test]

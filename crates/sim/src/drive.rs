@@ -1,69 +1,200 @@
-//! Day-by-day emission of a single drive's log from its lifecycle plan.
+//! Emission of a single drive's log from its lifecycle plan — day by day,
+//! or fast-forwarded span by span.
+//!
+//! The drive's life decomposes into *segments* derived from its plan:
+//! operational runs, reported-inactive windows after failures, and silent
+//! repair windows. Within an operational run, which days emit a report is
+//! decided by a `ReportSchedule` — a renewal process on the drive's
+//! dedicated schedule RNG stream that yields the *indices* of emitted
+//! days directly, so non-emitted days consume no randomness at all. Wear
+//! is deterministic ([`WearModel`]) and report contents draw from a
+//! second dedicated stream, only on emitted days.
+//!
+//! Because every random draw is attached to an emitted day (or to the
+//! schedule that locates it), the day-by-day walker and the fast-forward
+//! walker consume identical RNG sequences and produce byte-identical
+//! logs: day-by-day advances wear one `rate(age)` at a time and compares
+//! each day's index against the schedule; fast-forward jumps straight to
+//! the next scheduled index and adds the skipped span's wear with one
+//! closed-form [`WearModel::span`] sum. `tests/determinism.rs` pins the
+//! equivalence at every pool size; DESIGN.md §13 gives the argument.
 
 use crate::calibration::{self, ModelParams};
 use crate::dist;
 use crate::errors::{sample_day as sample_errors, ErrorContext, Escalation};
 use crate::health::{DriveTraits, LifecyclePlan};
-use crate::workload::sample_day as sample_workload;
+use crate::workload::{sample_day as sample_workload, WearModel};
 use ssd_stats::SplitMix64;
 use ssd_types::{DailyReport, DriveId, DriveLog, DriveModel, SwapEvent};
 
-/// Phase of a drive's life on a given age day, derived from its plan.
+/// How operational days between observable events are traversed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Normal operation; `days_to_failure` is set when a symptomatic
-    /// failure lies within the escalation window.
-    Operational { days_to_failure: Option<u32> },
-    /// Failed but still reporting with zero provisioned activity.
-    InactiveReported,
-    /// Failed and silent (no reports) until the swap.
-    Silent,
-    /// Physically swapped out; in the repair process (no reports).
-    InRepair,
-    /// Beyond the observation horizon or after a terminal silent failure.
-    Gone,
+pub enum GenMode {
+    /// Walk every operational day, advancing wear one day at a time.
+    DayByDay,
+    /// Jump from one scheduled report to the next, advancing wear over
+    /// each skipped span in O(1). Byte-identical to [`GenMode::DayByDay`].
+    FastForward,
 }
 
-/// Resolves the phase of `age` from the plan.
-fn phase_at(plan: &LifecyclePlan, age: u32) -> Phase {
-    if age >= plan.horizon_age {
-        return Phase::Gone;
-    }
-    if let Some(t) = plan.terminal_unswapped_failure {
-        if age > t {
-            // After a terminal failure the drive goes quiet forever (its
-            // swap is beyond the horizon). Approximate the mixed
-            // inactive/silent tail as silence.
-            return Phase::Gone;
+/// Per-drive generation options (mode, report density, importance boost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriveGenOptions {
+    /// Traversal mode; the archive bytes do not depend on it.
+    pub mode: GenMode,
+    /// Report probability in permille, clamped to `1..=1000`.
+    pub report_permille: u32,
+    /// Multiplier on the infant-failure probability of the first
+    /// operational period (importance sampling). `1.0` means uniform
+    /// sampling with log-weight exactly `0.0`.
+    pub infant_boost: f64,
+}
+
+impl Default for DriveGenOptions {
+    fn default() -> Self {
+        DriveGenOptions {
+            mode: GenMode::DayByDay,
+            report_permille: calibration::DEFAULT_REPORT_PERMILLE,
+            infant_boost: 1.0,
         }
     }
+}
+
+/// Renewal process yielding the operational-day indices that emit a
+/// report, skipping multi-day logging gaps (Figure 1's Data Count < Max
+/// Age). All draws come from the dedicated schedule stream, and only at
+/// emissions/gap renewals — never per skipped day — so day-by-day and
+/// fast-forward traversals consume it identically by construction.
+struct ReportSchedule {
+    /// Per-day report process (cached-divisor geometric at probability
+    /// `report_permille / 1000`).
+    emit: dist::Geometric,
+    /// Gap-arrival process (geometric at `GAP_START_PROBABILITY`).
+    gap: dist::Geometric,
+    /// Operational-day index where the next logging gap begins.
+    next_gap: u64,
+    /// Exclusive end of the current (merged) gap window.
+    gap_until: u64,
+    /// The next emission index.
+    next_emit: u64,
+}
+
+impl ReportSchedule {
+    fn new(report_permille: u32, rng: &mut SplitMix64) -> Self {
+        let p = f64::from(report_permille.clamp(1, 1000)) / 1000.0;
+        let mut s = ReportSchedule {
+            emit: dist::Geometric::new(p),
+            gap: dist::Geometric::new(calibration::GAP_START_PROBABILITY),
+            next_gap: 0,
+            gap_until: 0,
+            next_emit: 0,
+        };
+        // The first gap can begin no earlier than day 1 (a gap is noticed
+        // as missing reports *after* a logged day), mirroring the renewal
+        // used after each gap ends.
+        s.next_gap = 1 + s.gap.sample(rng);
+        s.next_emit = s.resolve(s.emit.sample(rng), rng);
+        s
+    }
+
+    /// The operational-day index of the next report.
+    fn next_emit(&self) -> u64 {
+        self.next_emit
+    }
+
+    /// Consumes the current emission and schedules the following one.
+    fn advance(&mut self, rng: &mut SplitMix64) {
+        let cand = self.next_emit + 1 + self.emit.sample(rng);
+        self.next_emit = self.resolve(cand, rng);
+    }
+
+    /// Settles a candidate emission index against the gap process:
+    /// renews gaps crossed by the candidate and pushes candidates that
+    /// land inside a gap past its end.
+    fn resolve(&mut self, mut cand: u64, rng: &mut SplitMix64) -> u64 {
+        loop {
+            while self.next_gap <= cand {
+                let start = self.next_gap;
+                let len = 1 + rng.next_bounded(u64::from(calibration::GAP_MAX_DAYS));
+                self.gap_until = self.gap_until.max(start + len);
+                self.next_gap = self.gap_until + 1 + self.gap.sample(rng);
+            }
+            if cand >= self.gap_until {
+                return cand;
+            }
+            // Swallowed by a gap: resume the report process at its end.
+            cand = self.gap_until + self.emit.sample(rng);
+        }
+    }
+}
+
+/// One contiguous window of a drive's life that can produce reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegmentKind {
+    /// Normal operation (reports per the schedule, wear accrues).
+    Operational,
+    /// Failed but still reporting with zero provisioned activity.
+    InactiveReported,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LifeSegment {
+    start: u32,
+    /// Exclusive.
+    end: u32,
+    kind: SegmentKind,
+}
+
+/// Decomposes the plan into report-bearing segments, in age order.
+/// Silent windows, repair windows, and everything past the horizon or a
+/// terminal failure produce no segment (and no reports).
+fn life_segments(plan: &LifecyclePlan) -> Vec<LifeSegment> {
+    let horizon = plan.horizon_age;
+    let mut segs = Vec::with_capacity(plan.failures.len() * 2 + 1);
+    let mut cur = 0u32;
     for f in &plan.failures {
-        if age <= f.fail_day {
-            // Possibly within the escalation window of this failure.
-            let dtf = f.fail_day - age;
-            let escalating = f.symptomatic && dtf < calibration::ESCALATION_WINDOW_DAYS;
-            // Only operational if this failure is the next event (i.e. the
-            // age is after any previous re-entry, which the loop order
-            // guarantees since failures are chronological).
-            return Phase::Operational {
-                days_to_failure: escalating.then_some(dtf),
-            };
+        let op_end = f.fail_day.saturating_add(1).min(horizon);
+        if op_end > cur {
+            segs.push(LifeSegment {
+                start: cur,
+                end: op_end,
+                kind: SegmentKind::Operational,
+            });
         }
-        if age <= f.fail_day + f.inactive_days {
-            return Phase::InactiveReported;
-        }
-        if age < f.swap_day {
-            return Phase::Silent;
+        // Inactive-reported window: `fail_day < age <= fail_day +
+        // inactive_days`, never reaching the swap day or the horizon.
+        let inact_end = f
+            .fail_day
+            .saturating_add(f.inactive_days)
+            .saturating_add(1)
+            .min(f.swap_day)
+            .min(horizon);
+        if inact_end > op_end {
+            segs.push(LifeSegment {
+                start: op_end,
+                end: inact_end,
+                kind: SegmentKind::InactiveReported,
+            });
         }
         match f.reentry_day {
-            Some(re) if age >= re => continue, // next failure (or tail) applies
-            Some(_) => return Phase::InRepair,
-            None => return Phase::InRepair,
+            Some(re) => cur = re.max(cur),
+            None => return segs, // in repair until the horizon
         }
     }
-    Phase::Operational {
-        days_to_failure: None,
+    let tail_end = match plan.terminal_unswapped_failure {
+        // Ages ≤ t are operational; past t the drive goes quiet forever
+        // (its swap is beyond the horizon).
+        Some(t) => t.saturating_add(1).min(horizon),
+        None => horizon,
+    };
+    if tail_end > cur {
+        segs.push(LifeSegment {
+            start: cur,
+            end: tail_end,
+            kind: SegmentKind::Operational,
+        });
     }
+    segs
 }
 
 /// Activity multiplier applied in the final days before *any* failure:
@@ -140,15 +271,19 @@ fn escalation_for(plan: &LifecyclePlan, age: u32) -> Option<Escalation> {
 
 /// Destination for a drive's emitted reports and swap events.
 ///
-/// The emission loop ([`emit_into`]) is generic over its sink so the same
-/// monomorphized code — and therefore the exact same RNG consumption —
-/// backs both the owned [`DriveLog`] path and the columnar
+/// The emission loop ([`emit_into_opts`]) is generic over its sink so the
+/// same monomorphized code — and therefore the exact same RNG consumption
+/// — backs both the owned [`DriveLog`] path and the columnar
 /// [`ReportArena`](crate::ReportArena) path. That shared loop is what
 /// makes the arena archives byte-identical to the baseline by
 /// construction (pinned by `tests/determinism.rs`).
 pub trait ReportSink {
     /// Hint that up to `additional` more reports are coming.
     fn reserve(&mut self, _additional: usize) {}
+
+    /// Receive the drive's importance-sampling log-weight (exactly `0.0`
+    /// under uniform sampling). Called once, before any report.
+    fn weight(&mut self, _log_weight: f64) {}
 
     /// Receive one daily report, in ascending `age_days` order.
     fn report(&mut self, r: &DailyReport);
@@ -160,6 +295,10 @@ pub trait ReportSink {
 impl ReportSink for DriveLog {
     fn reserve(&mut self, additional: usize) {
         self.reports.reserve(additional);
+    }
+
+    fn weight(&mut self, log_weight: f64) {
+        self.log_weight = log_weight;
     }
 
     fn report(&mut self, r: &DailyReport) {
@@ -195,9 +334,24 @@ pub fn generate_drive_into<S: ReportSink>(
     rng: &mut SplitMix64,
     sink: &mut S,
 ) {
+    generate_drive_into_opts(params, horizon_days, &DriveGenOptions::default(), rng, sink);
+}
+
+/// Generates one drive under explicit options. With `infant_boost > 1`
+/// the first-period infant-failure probability is boosted and the drive's
+/// log-weight (see [`ReportSink::weight`]) carries the correction.
+pub fn generate_drive_into_opts<S: ReportSink>(
+    params: &ModelParams,
+    horizon_days: u32,
+    opts: &DriveGenOptions,
+    rng: &mut SplitMix64,
+    sink: &mut S,
+) {
     let traits = DriveTraits::sample(params, rng);
-    let plan = LifecyclePlan::sample(params, &traits, horizon_days, rng);
-    emit_into(params, &traits, &plan, rng, sink);
+    let (plan, log_weight) =
+        LifecyclePlan::sample_weighted(params, &traits, horizon_days, rng, opts.infant_boost);
+    sink.weight(log_weight);
+    emit_into_opts(params, &traits, &plan, opts, rng, sink);
 }
 
 /// Emits the daily log for a drive with known traits and plan (separated
@@ -215,8 +369,8 @@ pub fn emit_log(
     log
 }
 
-/// Core emission loop: walks the drive's life day by day and pushes each
-/// observable report (and every swap) into `sink`.
+/// Core emission with default options ([`GenMode::DayByDay`], calibrated
+/// report density).
 pub fn emit_into<S: ReportSink>(
     params: &ModelParams,
     traits: &DriveTraits,
@@ -224,99 +378,103 @@ pub fn emit_into<S: ReportSink>(
     rng: &mut SplitMix64,
     sink: &mut S,
 ) {
-    sink.reserve(plan.horizon_age as usize);
+    emit_into_opts(params, traits, plan, &DriveGenOptions::default(), rng, sink);
+}
 
-    let mut pe_accum = 0.0f64;
-    let mut grown_bad_blocks = 0u32;
-    let mut read_only = false;
-    let mut gap_remaining = 0u32;
+/// Mutable per-drive emission state shared by both traversal modes.
+struct EmitState {
+    /// Fixed-point wear accumulator (see [`WearModel`]).
+    wear: u64,
+    grown_bad_blocks: u32,
+    read_only: bool,
+}
 
-    for age in 0..plan.horizon_age {
-        let phase = phase_at(plan, age);
-        match phase {
-            Phase::Gone => break,
-            Phase::Silent | Phase::InRepair => {
-                // No report. Reset any read-only latch on repair (the
-                // repaired drive returns refurbished).
-                if phase == Phase::InRepair {
-                    read_only = false;
+/// Core emission: walks the drive's life-segments and pushes each
+/// observable report (and every swap) into `sink`.
+///
+/// `rng` is the tail of the per-drive stream after traits and plan were
+/// sampled; one draw from it seeds two independent substreams — the
+/// report schedule and the report contents — so that skipping days never
+/// perturbs later draws.
+pub fn emit_into_opts<S: ReportSink>(
+    params: &ModelParams,
+    traits: &DriveTraits,
+    plan: &LifecyclePlan,
+    opts: &DriveGenOptions,
+    rng: &mut SplitMix64,
+    sink: &mut S,
+) {
+    // Capacity hint only (never observable in the output): expected
+    // report count at the configured density, padded so typical variance
+    // stays within one allocation. Hinting the full horizon instead made
+    // the allocator — not the walker — the dominant per-drive cost for
+    // sparse fleets.
+    let expected = u64::from(plan.horizon_age)
+        * u64::from(opts.report_permille.clamp(1, 1000))
+        / 1000;
+    sink.reserve((expected + expected / 4 + 8) as usize);
+
+    let sub = rng.next_u64();
+    let mut sched_rng = SplitMix64::for_stream(sub, 1);
+    let mut emit_rng = SplitMix64::for_stream(sub, 2);
+    let mut sched = ReportSchedule::new(opts.report_permille, &mut sched_rng);
+    let wear_model = WearModel::new(traits);
+    let mut st = EmitState {
+        wear: 0,
+        grown_bad_blocks: 0,
+        read_only: false,
+    };
+
+    // Index of the next operational day on the schedule axis (counts
+    // operational days only, contiguously across segments).
+    let mut op_idx = 0u64;
+    for seg in life_segments(plan) {
+        match seg.kind {
+            SegmentKind::Operational => {
+                // Every operational segment after the first follows a
+                // repair: the swapped-in drive returns refurbished.
+                st.read_only = false;
+                let len = u64::from(seg.end - seg.start);
+                match opts.mode {
+                    GenMode::DayByDay => {
+                        for age in seg.start..seg.end {
+                            st.wear += wear_model.rate(age);
+                            if op_idx == sched.next_emit() {
+                                sched.advance(&mut sched_rng);
+                                emit_op_day(
+                                    params, traits, plan, age, &mut st, &mut emit_rng, sink,
+                                );
+                            }
+                            op_idx += 1;
+                        }
+                    }
+                    GenMode::FastForward => {
+                        // Ages in `[seg.start, accrued)` already counted.
+                        let mut accrued = seg.start;
+                        while sched.next_emit() < op_idx + len {
+                            let age = seg.start + (sched.next_emit() - op_idx) as u32;
+                            sched.advance(&mut sched_rng);
+                            st.wear += wear_model.span(accrued, age + 1);
+                            accrued = age + 1;
+                            emit_op_day(params, traits, plan, age, &mut st, &mut emit_rng, sink);
+                        }
+                        st.wear += wear_model.span(accrued, seg.end);
+                        op_idx += len;
+                    }
                 }
-                continue;
             }
-            Phase::InactiveReported => {
-                // Failed-but-reporting: zero activity, dead flag usually set.
-                let mut r = DailyReport::empty(age);
-                r.pe_cycles = pe_accum as u32;
-                r.factory_bad_blocks = traits.factory_bad_blocks;
-                r.grown_bad_blocks = grown_bad_blocks;
-                r.status_dead = dist::bernoulli(rng, 0.7);
-                r.status_read_only = read_only;
-                sink.report(&r);
-            }
-            Phase::Operational { days_to_failure } => {
-                // Random logging gaps (Figure 1: Data Count < Max Age).
-                if gap_remaining > 0 {
-                    gap_remaining -= 1;
-                    // Workload still happens during unlogged days; account
-                    // for its wear so P/E stays consistent.
-                    let w = sample_workload(traits, age, rng);
-                    pe_accum += w.pe_increment;
-                    continue;
+            SegmentKind::InactiveReported => {
+                // Failed-but-reporting days always emit (they are the
+                // observable symptom) and accrue no wear.
+                for age in seg.start..seg.end {
+                    let mut r = DailyReport::empty(age);
+                    r.pe_cycles = WearModel::cycles(st.wear);
+                    r.factory_bad_blocks = traits.factory_bad_blocks;
+                    r.grown_bad_blocks = st.grown_bad_blocks;
+                    r.status_dead = dist::bernoulli(&mut emit_rng, 0.7);
+                    r.status_read_only = st.read_only;
+                    sink.report(&r);
                 }
-                if dist::bernoulli(rng, calibration::GAP_START_PROBABILITY) {
-                    gap_remaining =
-                        1 + rng.next_bounded(u64::from(calibration::GAP_MAX_DAYS)) as u32;
-                }
-                if !dist::bernoulli(rng, calibration::REPORT_PROBABILITY) {
-                    let w = sample_workload(traits, age, rng);
-                    pe_accum += w.pe_increment;
-                    continue;
-                }
-
-                // The drive is defect-symptomatic while heading toward an
-                // infant symptomatic failure in its first operational
-                // period.
-                let defect_symptomatic = plan
-                    .failures
-                    .first()
-                    .map(|f| f.infant && f.symptomatic && age <= f.fail_day)
-                    .unwrap_or(false);
-                let mut w = sample_workload(traits, age, rng);
-                let decline = activity_decline(plan, age);
-                if decline < 1.0 {
-                    w.read_ops = ((w.read_ops as f64) * decline) as u64;
-                    // Keep the failure day "active" (≥ 1 op) so the
-                    // failure-point definition still lands on it.
-                    w.write_ops = (((w.write_ops as f64) * decline) as u64).max(1);
-                    w.erase_ops = ((w.erase_ops as f64) * decline) as u64;
-                    w.pe_increment *= decline;
-                }
-                pe_accum += w.pe_increment;
-                let ctx = ErrorContext {
-                    age_days: age,
-                    pe_cycles: pe_accum as u32,
-                    escalation: days_to_failure.and(escalation_for(plan, age)),
-                    defect_symptomatic,
-                    pre_failure_days: days_to_next_failure(plan, age),
-                };
-                let (errors, new_blocks) = sample_errors(params, traits, &ctx, rng);
-                grown_bad_blocks = grown_bad_blocks.saturating_add(new_blocks);
-                // A drive sometimes latches read-only mode during its final
-                // symptomatic decline.
-                if ctx.escalation.is_some() && !read_only && dist::bernoulli(rng, 0.08) {
-                    read_only = true;
-                }
-
-                let mut r = DailyReport::empty(age);
-                r.read_ops = if read_only { w.read_ops } else { w.read_ops };
-                r.write_ops = if read_only { 0 } else { w.write_ops };
-                r.erase_ops = if read_only { 0 } else { w.erase_ops };
-                r.pe_cycles = pe_accum as u32;
-                r.factory_bad_blocks = traits.factory_bad_blocks;
-                r.grown_bad_blocks = grown_bad_blocks;
-                r.status_read_only = read_only;
-                r.errors = errors;
-                sink.report(&r);
             }
         }
     }
@@ -327,6 +485,62 @@ pub fn emit_into<S: ReportSink>(
             reentry_day: f.reentry_day,
         });
     }
+}
+
+/// Emits one operational day's report: workload, errors, status flags.
+/// Shared verbatim by both traversal modes — this is where every
+/// content-stream draw happens.
+fn emit_op_day<S: ReportSink>(
+    params: &ModelParams,
+    traits: &DriveTraits,
+    plan: &LifecyclePlan,
+    age: u32,
+    st: &mut EmitState,
+    rng: &mut SplitMix64,
+    sink: &mut S,
+) {
+    // The drive is defect-symptomatic while heading toward an infant
+    // symptomatic failure in its first operational period.
+    let defect_symptomatic = plan
+        .failures
+        .first()
+        .map(|f| f.infant && f.symptomatic && age <= f.fail_day)
+        .unwrap_or(false);
+    let mut w = sample_workload(traits, age, rng);
+    let decline = activity_decline(plan, age);
+    if decline < 1.0 {
+        w.read_ops = ((w.read_ops as f64) * decline) as u64;
+        // Keep the failure day "active" (≥ 1 op) so the failure-point
+        // definition still lands on it.
+        w.write_ops = (((w.write_ops as f64) * decline) as u64).max(1);
+        w.erase_ops = ((w.erase_ops as f64) * decline) as u64;
+    }
+    let pe_cycles = WearModel::cycles(st.wear);
+    let ctx = ErrorContext {
+        age_days: age,
+        pe_cycles,
+        escalation: escalation_for(plan, age),
+        defect_symptomatic,
+        pre_failure_days: days_to_next_failure(plan, age),
+    };
+    let (errors, new_blocks) = sample_errors(params, traits, &ctx, rng);
+    st.grown_bad_blocks = st.grown_bad_blocks.saturating_add(new_blocks);
+    // A drive sometimes latches read-only mode during its final
+    // symptomatic decline.
+    if ctx.escalation.is_some() && !st.read_only && dist::bernoulli(rng, 0.08) {
+        st.read_only = true;
+    }
+
+    let mut r = DailyReport::empty(age);
+    r.read_ops = w.read_ops;
+    r.write_ops = if st.read_only { 0 } else { w.write_ops };
+    r.erase_ops = if st.read_only { 0 } else { w.erase_ops };
+    r.pe_cycles = pe_cycles;
+    r.factory_bad_blocks = traits.factory_bad_blocks;
+    r.grown_bad_blocks = st.grown_bad_blocks;
+    r.status_read_only = st.read_only;
+    r.errors = errors;
+    sink.report(&r);
 }
 
 #[cfg(test)]
@@ -363,6 +577,19 @@ mod tests {
         }
     }
 
+    fn emit_with_mode(plan: &LifecyclePlan, seed: u64, mode: GenMode) -> DriveLog {
+        let p = params();
+        let t = traits();
+        let opts = DriveGenOptions {
+            mode,
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(seed);
+        let mut log = DriveLog::new(DriveId(1), DriveModel::MlcB);
+        emit_into_opts(&p, &t, plan, &opts, &mut rng, &mut log);
+        log
+    }
+
     #[test]
     fn emitted_log_validates() {
         let p = params();
@@ -377,6 +604,90 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_equals_day_by_day_on_crafted_plans() {
+        let multi = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 1000,
+            failures: vec![
+                PlannedFailure {
+                    fail_day: 100,
+                    inactive_days: 2,
+                    swap_day: 110,
+                    reentry_day: Some(200),
+                    symptomatic: false,
+                    infant: false,
+                    decline: 1.0,
+                },
+                PlannedFailure {
+                    fail_day: 500,
+                    inactive_days: 0,
+                    swap_day: 505,
+                    reentry_day: None,
+                    symptomatic: true,
+                    infant: false,
+                    decline: 0.3,
+                },
+            ],
+            terminal_unswapped_failure: None,
+        };
+        let healthy = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 2190,
+            failures: vec![],
+            terminal_unswapped_failure: None,
+        };
+        let terminal = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 500,
+            failures: vec![],
+            terminal_unswapped_failure: Some(100),
+        };
+        for plan in [&multi, &healthy, &terminal, &plan_with_failure()] {
+            for seed in 0..20 {
+                let a = emit_with_mode(plan, seed, GenMode::DayByDay);
+                let b = emit_with_mode(plan, seed, GenMode::FastForward);
+                assert_eq!(a, b, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_reporting_still_emits_and_stays_identical_across_modes() {
+        let p = params();
+        let t = traits();
+        let plan = LifecyclePlan {
+            deploy_day: 0,
+            horizon_age: 2190,
+            failures: vec![],
+            terminal_unswapped_failure: None,
+        };
+        for permille in [1, 5, 50, 1000] {
+            let run = |mode| {
+                let opts = DriveGenOptions {
+                    mode,
+                    report_permille: permille,
+                    ..Default::default()
+                };
+                let mut rng = SplitMix64::new(7);
+                let mut log = DriveLog::new(DriveId(2), DriveModel::MlcB);
+                emit_into_opts(&p, &t, &plan, &opts, &mut rng, &mut log);
+                log
+            };
+            let a = run(GenMode::DayByDay);
+            let b = run(GenMode::FastForward);
+            assert_eq!(a, b, "permille {permille}");
+            // Expected density, loosely: p · horizon, minus gap loss.
+            let expected = 2190.0 * f64::from(permille) / 1000.0;
+            assert!(
+                (a.reports.len() as f64) < expected * 1.5 + 30.0,
+                "permille {permille}: {} reports",
+                a.reports.len()
+            );
+            a.validate().expect("log invariants");
+        }
+    }
+
+    #[test]
     fn silent_window_has_no_reports_and_inactive_window_reports_zero_activity() {
         let p = params();
         let t = traits();
@@ -387,6 +698,10 @@ mod tests {
         for r in log.reports.iter().filter(|r| (201..=203).contains(&r.age_days)) {
             assert!(!r.is_active(), "inactive window must have no reads/writes");
         }
+        assert!(
+            log.reports.iter().any(|r| (201..=203).contains(&r.age_days)),
+            "inactive window must report"
+        );
         // Silent window: ages 204..210 and repair 210..300 have no reports.
         assert!(
             !log.reports.iter().any(|r| (204..300).contains(&r.age_days)),
@@ -556,5 +871,22 @@ mod tests {
         let a = generate_drive(DriveId(9), DriveModel::MlcB, &p, 2190, &mut r1);
         let b = generate_drive(DriveId(9), DriveModel::MlcB, &p, 2190, &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn importance_boost_one_is_weightless_and_identical_to_uniform() {
+        let p = params();
+        let boosted = DriveGenOptions {
+            infant_boost: 1.0,
+            ..Default::default()
+        };
+        let mut r1 = SplitMix64::for_stream(9, 3);
+        let mut r2 = SplitMix64::for_stream(9, 3);
+        let mut a = DriveLog::new(DriveId(4), DriveModel::MlcB);
+        let mut b = DriveLog::new(DriveId(4), DriveModel::MlcB);
+        generate_drive_into(&p, 2190, &mut r1, &mut a);
+        generate_drive_into_opts(&p, 2190, &boosted, &mut r2, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.log_weight.to_bits(), 0.0f64.to_bits());
     }
 }

@@ -1,47 +1,235 @@
-//! Parallel fleet generation.
+//! Parallel fleet generation behind the [`FleetGen`] builder.
 //!
 //! Each drive's randomness derives from `SplitMix64::for_stream(seed, id)`,
 //! so the trace is a pure function of the configuration: the same fleet is
 //! produced regardless of thread count or generation order (verified by a
-//! determinism test comparing single- and multi-threaded output).
+//! determinism test comparing single- and multi-threaded output), and the
+//! day-by-day and fast-forward traversal modes produce byte-identical
+//! archives (pinned by `tests/fastforward.rs`).
+//!
+//! [`FleetGen`] is the single entry point: pick a traversal
+//! [`GenMode`], a [`Sampling`] strategy, and a destination
+//! ([`run`](FleetGen::run) streams an archive, [`trace`](FleetGen::trace)
+//! materializes an owned [`FleetTrace`]). The legacy free functions
+//! (`generate_fleet*`) survive as deprecated thin wrappers.
 
 use crate::arena::ReportArena;
 use crate::calibration::ModelParams;
 use crate::config::SimConfig;
-use crate::drive::{generate_drive, generate_drive_into};
+use crate::drive::{generate_drive_into_opts, DriveGenOptions, GenMode};
 use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
 use ssd_types::codec::{encode_drive_soa, TraceEncoder};
-use ssd_types::{DriveId, DriveModel, FleetTrace};
+use ssd_types::{DriveId, DriveLog, DriveModel, FleetTrace};
 use std::io::Write;
 
-/// Generates a complete fleet trace in parallel.
-pub fn generate_fleet(config: &SimConfig) -> FleetTrace {
-    let params: Vec<ModelParams> = DriveModel::ALL
+/// How the fleet's drive population is sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampling {
+    /// Every drive drawn from the calibrated population distribution;
+    /// all log-weights are exactly `0.0`.
+    Uniform,
+    /// The defective/infant subpopulation is oversampled by `boost`
+    /// (first-period infant-failure probability multiplied by `boost`,
+    /// capped at 0.5); each drive's archive record carries the
+    /// correcting log-weight for downstream weighted estimators.
+    Importance {
+        /// Multiplier on the infant-failure probability (≥ 1.0).
+        boost: f64,
+    },
+}
+
+impl Sampling {
+    fn infant_boost(self) -> f64 {
+        match self {
+            Sampling::Uniform => 1.0,
+            Sampling::Importance { boost } => boost.max(1.0),
+        }
+    }
+}
+
+/// Builder for fleet generation: configuration plus traversal mode and
+/// sampling strategy.
+///
+/// ```
+/// use ssd_sim::{FleetGen, GenMode, Sampling, SimConfig};
+///
+/// let config = SimConfig::test_scale(7);
+/// let mut archive = Vec::new();
+/// let stats = FleetGen::new(&config)
+///     .mode(GenMode::FastForward)
+///     .sampling(Sampling::Uniform)
+///     .run(&mut archive)
+///     .unwrap();
+/// assert_eq!(stats.drives, u64::from(config.total_drives()));
+/// assert_eq!(stats.bytes, archive.len() as u64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetGen<'a> {
+    config: &'a SimConfig,
+    mode: GenMode,
+    sampling: Sampling,
+}
+
+impl<'a> FleetGen<'a> {
+    /// Starts a builder with the default traversal ([`GenMode::DayByDay`])
+    /// and [`Sampling::Uniform`].
+    pub fn new(config: &'a SimConfig) -> Self {
+        FleetGen {
+            config,
+            mode: GenMode::DayByDay,
+            sampling: Sampling::Uniform,
+        }
+    }
+
+    /// Selects the traversal mode. The archive bytes do not depend on it
+    /// (fast-forward is an optimization, not a different model).
+    pub fn mode(mut self, mode: GenMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the population sampling strategy.
+    pub fn sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    fn opts(&self) -> DriveGenOptions {
+        DriveGenOptions {
+            mode: self.mode,
+            report_permille: self.config.report_permille,
+            infant_boost: self.sampling.infant_boost(),
+        }
+    }
+
+    /// Generates the fleet and streams the compact binary archive into
+    /// `sink` without ever materializing a [`FleetTrace`] or the full
+    /// archive.
+    ///
+    /// This is the hot path for paper-scale fleets (30k drives × 6
+    /// years): drives are split into `min(n, 128)` contiguous id ranges,
+    /// each worker emits its drives into a reusable [`ReportArena`] and
+    /// serializes every drive into a per-chunk byte buffer as soon as it
+    /// is emitted. Chunks are produced in bounded *waves* (a small
+    /// multiple of the worker count) and appended to the sink in id order
+    /// as each wave lands, so peak memory is one wave of encoded chunks —
+    /// not the whole archive — regardless of fleet size.
+    ///
+    /// The chunk boundaries are a pure function of the drive count and
+    /// the append order is chunk-id order, so the bytes written are
+    /// identical to `encode_trace(&self.trace())` at every pool size and
+    /// wave size (pinned by `tests/determinism.rs`).
+    pub fn run<W: Write>(&self, sink: W) -> std::io::Result<ArchiveStats> {
+        let params = all_params();
+        let opts = self.opts();
+        let n = self.config.total_drives();
+        let n_chunks = archive_chunks(n);
+        let chunk_size = if n_chunks == 0 { 0 } else { n.div_ceil(n_chunks) };
+        // Two chunks in flight per worker keeps the pool busy while
+        // bounding resident encoded bytes to one wave.
+        let wave = (ssd_parallel::current_num_threads().max(1) * 2) as u32;
+
+        let mut enc = TraceEncoder::to_sink(sink, self.config.horizon_days, u64::from(n))?;
+        let mut stats = ArchiveStats {
+            drives: u64::from(n),
+            drive_days: 0,
+            swaps: 0,
+            bytes: 0,
+        };
+        let mut c0 = 0u32;
+        while c0 < n_chunks {
+            let c1 = c0.saturating_add(wave).min(n_chunks);
+            let chunks: Vec<EncodedChunk> = (c0..c1)
+                .into_par_iter()
+                .map(|c| {
+                    // Trailing chunks collapse to empty ranges when
+                    // ceil-sized chunks cover the fleet early (e.g. 180
+                    // drives / 128).
+                    let lo = (c * chunk_size).min(n);
+                    let hi = (lo + chunk_size).min(n);
+                    encode_chunk(self.config, &params, &opts, lo, hi)
+                })
+                .collect();
+            for chunk in &chunks {
+                enc.append_encoded(chunk.drives, &chunk.bytes)?;
+                stats.drive_days += chunk.drive_days;
+                stats.swaps += chunk.swaps;
+            }
+            c0 = c1;
+        }
+        stats.bytes = enc.bytes_written();
+        enc.finish_sink()?;
+        Ok(stats)
+    }
+
+    /// Generates the fleet into an in-memory archive. Thin wrapper over
+    /// [`run`](FleetGen::run) with a `Vec<u8>` sink — the bytes are
+    /// identical; large fleets should stream to disk instead.
+    pub fn run_vec(&self) -> Vec<u8> {
+        // ~40 encoded bytes per *reported* day: scale the hint by the
+        // configured report density rather than the full horizon.
+        let expected_days = u64::from(self.config.total_drives())
+            * u64::from(self.config.horizon_days)
+            * u64::from(self.config.report_permille.clamp(1, 1000))
+            / 1000;
+        let mut out = Vec::with_capacity(64 + (expected_days + expected_days / 4) as usize * 40);
+        // lint:allow(panic-freedom) -- io::Write into a Vec<u8> is infallible
+        self.run(&mut out).expect("Vec sink cannot fail");
+        out
+    }
+
+    /// Generates an owned [`FleetTrace`] in parallel — convenient for
+    /// resident analysis; costs gigabytes at paper scale.
+    pub fn trace(&self) -> FleetTrace {
+        let params = all_params();
+        let opts = self.opts();
+        let drives = (0..self.config.total_drives())
+            .into_par_iter()
+            .map(|i| self.gen_drive(&params, &opts, i))
+            .collect();
+        FleetTrace {
+            horizon_days: self.config.horizon_days,
+            drives,
+        }
+    }
+
+    /// Sequential reference implementation of [`trace`](FleetGen::trace),
+    /// used to verify thread-count independence.
+    pub fn trace_sequential(&self) -> FleetTrace {
+        let params = all_params();
+        let opts = self.opts();
+        let drives = (0..self.config.total_drives())
+            .map(|i| self.gen_drive(&params, &opts, i))
+            .collect();
+        FleetTrace {
+            horizon_days: self.config.horizon_days,
+            drives,
+        }
+    }
+
+    fn gen_drive(&self, params: &[ModelParams], opts: &DriveGenOptions, i: u32) -> DriveLog {
+        // Drives are striped across models: id % 3 picks the model, so
+        // per-model sub-fleets are equally sized and id-stable.
+        let model = DriveModel::from_index((i % 3) as usize);
+        let mut rng = SplitMix64::for_stream(self.config.seed, u64::from(i));
+        let mut log = DriveLog::new(DriveId(i), model);
+        generate_drive_into_opts(
+            &params[model.index()],
+            self.config.horizon_days,
+            opts,
+            &mut rng,
+            &mut log,
+        );
+        log
+    }
+}
+
+fn all_params() -> Vec<ModelParams> {
+    DriveModel::ALL
         .iter()
         .map(|&m| ModelParams::for_model(m))
-        .collect();
-    let n = config.total_drives();
-    let drives = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            // Drives are striped across models: id % 3 picks the model, so
-            // per-model sub-fleets are equally sized and id-stable.
-            let model = DriveModel::from_index((i % 3) as usize);
-            let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
-            generate_drive(
-                DriveId(i),
-                model,
-                &params[model.index()],
-                config.horizon_days,
-                &mut rng,
-            )
-        })
-        .collect();
-    FleetTrace {
-        horizon_days: config.horizon_days,
-        drives,
-    }
+        .collect()
 }
 
 /// Number of worker chunks the archive path splits a fleet into. A pure
@@ -52,13 +240,14 @@ fn archive_chunks(n_drives: u32) -> u32 {
     n_drives.min(128)
 }
 
-/// What [`generate_fleet_archive_to`] wrote, for logging/reporting without
-/// a second pass over the archive.
+/// What [`FleetGen::run`] wrote, for logging/reporting without a second
+/// pass over the archive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArchiveStats {
     /// Number of drives in the archive.
     pub drives: u64,
-    /// Total daily reports across all drives.
+    /// Total daily reports across all drives (simulated drive-days that
+    /// produced telemetry).
     pub drive_days: u64,
     /// Total swap events across all drives.
     pub swaps: u64,
@@ -76,20 +265,44 @@ struct EncodedChunk {
 
 /// Generates and encodes the contiguous drive-id range `[lo, hi)` into one
 /// byte buffer through a reusable [`ReportArena`].
-fn encode_chunk(config: &SimConfig, params: &[ModelParams], lo: u32, hi: u32) -> EncodedChunk {
+fn encode_chunk(
+    config: &SimConfig,
+    params: &[ModelParams],
+    opts: &DriveGenOptions,
+    lo: u32,
+    hi: u32,
+) -> EncodedChunk {
     let mut arena = ReportArena::with_capacity(config.horizon_days as usize);
-    // ~40 encoded bytes per drive-day, matching encode_trace's hint.
-    let mut bytes = Vec::with_capacity((hi - lo) as usize * config.horizon_days as usize * 40);
+    // ~40 encoded bytes per *reported* drive-day (matching
+    // encode_trace's hint), scaled by the configured report density.
+    let expected_days = u64::from(hi - lo)
+        * u64::from(config.horizon_days)
+        * u64::from(config.report_permille.clamp(1, 1000))
+        / 1000;
+    let mut bytes = Vec::with_capacity(((expected_days + expected_days / 4) * 40) as usize);
     let mut drive_days = 0u64;
     let mut swaps = 0u64;
     for i in lo..hi {
         let model = DriveModel::from_index((i % 3) as usize);
         let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
         arena.clear();
-        generate_drive_into(&params[model.index()], config.horizon_days, &mut rng, &mut arena);
+        generate_drive_into_opts(
+            &params[model.index()],
+            config.horizon_days,
+            opts,
+            &mut rng,
+            &mut arena,
+        );
         drive_days += arena.columns().len() as u64;
         swaps += arena.swaps().len() as u64;
-        encode_drive_soa(&mut bytes, DriveId(i), model, arena.columns(), arena.swaps());
+        encode_drive_soa(
+            &mut bytes,
+            DriveId(i),
+            model,
+            arena.log_weight(),
+            arena.columns(),
+            arena.swaps(),
+        );
     }
     EncodedChunk {
         drives: u64::from(hi - lo),
@@ -99,105 +312,31 @@ fn encode_chunk(config: &SimConfig, params: &[ModelParams], lo: u32, hi: u32) ->
     }
 }
 
-/// Generates a fleet and streams the compact binary archive into `sink`,
-/// without ever materializing a [`FleetTrace`] or the full archive.
-///
-/// This is the hot path for paper-scale fleets (30k drives × 6 years):
-/// drives are split into `min(n, 128)` contiguous id ranges, each worker
-/// emits its drives into a reusable [`ReportArena`] and serializes every
-/// drive into a per-chunk byte buffer as soon as it is emitted. Chunks are
-/// produced in bounded *waves* (a small multiple of the worker count) and
-/// appended to the sink in id order as each wave lands, so peak memory is
-/// one wave of encoded chunks — not the whole archive — regardless of
-/// fleet size.
-///
-/// The chunk boundaries are a pure function of the drive count and the
-/// append order is chunk-id order, so the bytes written are identical to
-/// `encode_trace(&generate_fleet(config))` at every pool size and wave
-/// size (pinned by `tests/determinism.rs`).
+/// Generates a complete fleet trace in parallel.
+#[deprecated(note = "use FleetGen::new(&config).trace()")]
+pub fn generate_fleet(config: &SimConfig) -> FleetTrace {
+    FleetGen::new(config).trace()
+}
+
+/// Sequential reference implementation of the parallel trace path.
+#[deprecated(note = "use FleetGen::new(&config).trace_sequential()")]
+pub fn generate_fleet_sequential(config: &SimConfig) -> FleetTrace {
+    FleetGen::new(config).trace_sequential()
+}
+
+/// Generates a fleet and encodes it into an in-memory archive.
+#[deprecated(note = "use FleetGen::new(&config).run_vec()")]
+pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
+    FleetGen::new(config).run_vec()
+}
+
+/// Generates a fleet and streams the compact binary archive into `sink`.
+#[deprecated(note = "use FleetGen::new(&config).run(sink)")]
 pub fn generate_fleet_archive_to<W: Write>(
     config: &SimConfig,
     sink: W,
 ) -> std::io::Result<ArchiveStats> {
-    let params: Vec<ModelParams> = DriveModel::ALL
-        .iter()
-        .map(|&m| ModelParams::for_model(m))
-        .collect();
-    let n = config.total_drives();
-    let n_chunks = archive_chunks(n);
-    let chunk_size = if n_chunks == 0 { 0 } else { n.div_ceil(n_chunks) };
-    // Two chunks in flight per worker keeps the pool busy while bounding
-    // resident encoded bytes to one wave.
-    let wave = (ssd_parallel::current_num_threads().max(1) * 2) as u32;
-
-    let mut enc = TraceEncoder::to_sink(sink, config.horizon_days, u64::from(n))?;
-    let mut stats = ArchiveStats {
-        drives: u64::from(n),
-        drive_days: 0,
-        swaps: 0,
-        bytes: 0,
-    };
-    let mut c0 = 0u32;
-    while c0 < n_chunks {
-        let c1 = c0.saturating_add(wave).min(n_chunks);
-        let chunks: Vec<EncodedChunk> = (c0..c1)
-            .into_par_iter()
-            .map(|c| {
-                // Trailing chunks collapse to empty ranges when ceil-sized
-                // chunks cover the fleet early (e.g. 180 drives / 128).
-                let lo = (c * chunk_size).min(n);
-                let hi = (lo + chunk_size).min(n);
-                encode_chunk(config, &params, lo, hi)
-            })
-            .collect();
-        for chunk in &chunks {
-            enc.append_encoded(chunk.drives, &chunk.bytes)?;
-            stats.drive_days += chunk.drive_days;
-            stats.swaps += chunk.swaps;
-        }
-        c0 = c1;
-    }
-    stats.bytes = enc.bytes_written();
-    enc.finish_sink()?;
-    Ok(stats)
-}
-
-/// Generates a fleet and encodes it into an in-memory archive. Thin
-/// wrapper over [`generate_fleet_archive_to`] with a `Vec<u8>` sink — the
-/// bytes are identical; large fleets should stream to disk instead.
-pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
-    let mut out = Vec::with_capacity(
-        64 + config.total_drives() as usize * config.horizon_days as usize * 40,
-    );
-    // lint:allow(panic-freedom) -- io::Write into a Vec<u8> is infallible
-    generate_fleet_archive_to(config, &mut out).expect("Vec sink cannot fail");
-    out
-}
-
-/// Sequential reference implementation of [`generate_fleet`], used to
-/// verify thread-count independence.
-pub fn generate_fleet_sequential(config: &SimConfig) -> FleetTrace {
-    let params: Vec<ModelParams> = DriveModel::ALL
-        .iter()
-        .map(|&m| ModelParams::for_model(m))
-        .collect();
-    let drives = (0..config.total_drives())
-        .map(|i| {
-            let model = DriveModel::from_index((i % 3) as usize);
-            let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
-            generate_drive(
-                DriveId(i),
-                model,
-                &params[model.index()],
-                config.horizon_days,
-                &mut rng,
-            )
-        })
-        .collect();
-    FleetTrace {
-        horizon_days: config.horizon_days,
-        drives,
-    }
+    FleetGen::new(config).run(sink)
 }
 
 #[cfg(test)]
@@ -209,20 +348,20 @@ mod tests {
             drives_per_model: 60,
             horizon_days: 800,
             seed: 123,
+            ..SimConfig::default()
         }
     }
 
     #[test]
     fn parallel_equals_sequential() {
         let cfg = tiny();
-        let a = generate_fleet(&cfg);
-        let b = generate_fleet_sequential(&cfg);
-        assert_eq!(a, b);
+        let gen = FleetGen::new(&cfg);
+        assert_eq!(gen.trace(), gen.trace_sequential());
     }
 
     #[test]
     fn fleet_validates_and_has_all_models() {
-        let trace = generate_fleet(&tiny());
+        let trace = FleetGen::new(&tiny()).trace();
         trace.validate().expect("trace invariants");
         for m in DriveModel::ALL {
             assert_eq!(trace.drives_of(m).count(), 60);
@@ -233,23 +372,23 @@ mod tests {
     #[test]
     fn different_seeds_give_different_fleets() {
         let mut cfg = tiny();
-        let a = generate_fleet(&cfg);
+        let a = FleetGen::new(&cfg).trace();
         cfg.seed = 456;
-        let b = generate_fleet(&cfg);
+        let b = FleetGen::new(&cfg).trace();
         assert_ne!(a, b);
     }
 
     #[test]
     fn same_seed_is_reproducible() {
         let cfg = tiny();
-        assert_eq!(generate_fleet(&cfg), generate_fleet(&cfg));
+        assert_eq!(FleetGen::new(&cfg).trace(), FleetGen::new(&cfg).trace());
     }
 
     #[test]
     fn archive_path_matches_encode_of_generated_fleet() {
         let cfg = tiny();
-        let baseline = ssd_types::codec::encode_trace(&generate_fleet(&cfg));
-        assert_eq!(generate_fleet_archive(&cfg), baseline);
+        let baseline = ssd_types::codec::encode_trace(&FleetGen::new(&cfg).trace());
+        assert_eq!(FleetGen::new(&cfg).run_vec(), baseline);
     }
 
     #[test]
@@ -259,25 +398,77 @@ mod tests {
                 drives_per_model,
                 horizon_days: 400,
                 seed: 9,
+                ..SimConfig::default()
             };
-            let baseline = ssd_types::codec::encode_trace(&generate_fleet(&cfg));
-            assert_eq!(generate_fleet_archive(&cfg), baseline);
-            assert!(ssd_types::codec::decode_trace(&generate_fleet_archive(&cfg)).is_ok());
+            let baseline = ssd_types::codec::encode_trace(&FleetGen::new(&cfg).trace());
+            assert_eq!(FleetGen::new(&cfg).run_vec(), baseline);
+            assert!(ssd_types::codec::decode_trace(&FleetGen::new(&cfg).run_vec()).is_ok());
         }
     }
 
     #[test]
     fn archive_to_sink_matches_in_memory_and_reports_stats() {
         let cfg = tiny();
-        let baseline = generate_fleet_archive(&cfg);
-        let trace = generate_fleet(&cfg);
+        let gen = FleetGen::new(&cfg);
+        let baseline = gen.run_vec();
+        let trace = gen.trace();
         let mut streamed = Vec::new();
-        let stats = generate_fleet_archive_to(&cfg, &mut streamed).unwrap();
+        let stats = gen.run(&mut streamed).unwrap();
         assert_eq!(streamed, baseline);
         assert_eq!(stats.drives, trace.n_drives() as u64);
         assert_eq!(stats.drive_days, trace.total_drive_days() as u64);
         assert_eq!(stats.swaps, trace.total_swaps() as u64);
         assert_eq!(stats.bytes, baseline.len() as u64);
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_builder() {
+        let cfg = tiny();
+        #[allow(deprecated)]
+        {
+            assert_eq!(generate_fleet(&cfg), FleetGen::new(&cfg).trace());
+            assert_eq!(generate_fleet_archive(&cfg), FleetGen::new(&cfg).run_vec());
+        }
+    }
+
+    #[test]
+    fn importance_sampling_weights_archive_drives() {
+        let cfg = tiny();
+        let uniform = FleetGen::new(&cfg).trace();
+        let boosted = FleetGen::new(&cfg)
+            .sampling(Sampling::Importance { boost: 6.0 })
+            .trace();
+        assert!(uniform
+            .drives
+            .iter()
+            .all(|d| d.log_weight.to_bits() == 0));
+        let weighted = boosted
+            .drives
+            .iter()
+            .filter(|d| d.log_weight.to_bits() != 0)
+            .count();
+        assert_eq!(
+            weighted,
+            boosted.drives.len(),
+            "every importance-sampled drive must carry a weight factor"
+        );
+        // Boosted fleets contain more infant swaps (that is the point).
+        let infant_swaps = |t: &FleetTrace| {
+            t.drives
+                .iter()
+                .flat_map(|d| &d.swaps)
+                .filter(|s| s.swap_day <= 120)
+                .count()
+        };
+        assert!(infant_swaps(&boosted) > infant_swaps(&uniform));
+        // And the archive round-trips the weights.
+        let archive = FleetGen::new(&cfg)
+            .sampling(Sampling::Importance { boost: 6.0 })
+            .run_vec();
+        let decoded = ssd_types::codec::decode_trace(&archive).unwrap();
+        for (a, b) in decoded.drives.iter().zip(&boosted.drives) {
+            assert_eq!(a.log_weight.to_bits(), b.log_weight.to_bits());
+        }
     }
 
     #[test]
@@ -302,7 +493,9 @@ mod tests {
                 Ok(())
             }
         }
-        let err = generate_fleet_archive_to(&tiny(), FailingSink { budget: 1000 }).unwrap_err();
+        let err = FleetGen::new(&tiny())
+            .run(FailingSink { budget: 1000 })
+            .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
     }
 
@@ -312,8 +505,9 @@ mod tests {
             drives_per_model: 300,
             horizon_days: crate::calibration::HORIZON_DAYS,
             seed: 7,
+            ..SimConfig::default()
         };
-        let trace = generate_fleet(&cfg);
+        let trace = FleetGen::new(&cfg).trace();
         let failed = trace.drives.iter().filter(|d| d.ever_failed()).count();
         // Fleet mean failed fraction ≈ 11%; at 900 drives expect ~100.
         assert!(failed > 40, "only {failed} failed drives");

@@ -152,24 +152,65 @@ impl LifecyclePlan {
         horizon_days: u32,
         rng: &mut SplitMix64,
     ) -> Self {
+        Self::sample_weighted(params, traits, horizon_days, rng, 1.0).0
+    }
+
+    /// Samples a lifecycle with the first-period infant-failure
+    /// probability boosted by `infant_boost` (importance sampling of the
+    /// defective subpopulation), returning the plan together with its
+    /// importance log-weight `ln(p(plan) / q(plan))`.
+    ///
+    /// Only the single first-period infant Bernoulli is reweighted: with
+    /// target probability `p` and proposal `q = min(p·boost, 0.5)`, a
+    /// boosted drive carries `ln(p/q)` (infant branch) or
+    /// `ln((1−p)/(1−q))` (mature branch). For `infant_boost = 1.0` the
+    /// draw sequence is identical to [`LifecyclePlan::sample`] and the
+    /// log-weight is exactly `0.0`.
+    pub fn sample_weighted(
+        params: &ModelParams,
+        traits: &DriveTraits,
+        horizon_days: u32,
+        rng: &mut SplitMix64,
+        infant_boost: f64,
+    ) -> (Self, f64) {
         let deploy_day = Self::sample_deploy_day(rng);
         let horizon_age = horizon_days.saturating_sub(deploy_day);
         let mut failures = Vec::new();
         let mut terminal_unswapped_failure = None;
+        let mut log_weight = 0.0f64;
 
         let hazard = if traits.error_prone {
             params.mature_daily_hazard_prone()
         } else {
             params.mature_daily_hazard_base()
         };
+        let p_infant = params.infant_failure_prob();
+        let boosted = infant_boost > 1.0;
+        let q_infant = if boosted {
+            (p_infant * infant_boost).min(0.5)
+        } else {
+            p_infant
+        };
 
         let mut period_start = 0u32;
         let mut first_period = true;
         loop {
             // --- When does this operational period end in failure? ---
-            let (fail_day, infant) = if first_period
-                && dist::bernoulli(rng, params.infant_failure_prob())
-            {
+            let infant_hit = first_period && {
+                let hit = dist::bernoulli(rng, q_infant);
+                // Uniform sampling has q == p, where both ratios are
+                // exactly 1.0 and ln(1.0) adds an exact +0.0 — so the
+                // skip leaves the weight bit-identical.
+                if boosted {
+                    log_weight += if hit {
+                        (p_infant / q_infant).ln()
+                    } else {
+                        ((1.0 - p_infant) / (1.0 - q_infant)).ln()
+                    };
+                }
+                hit
+            };
+            let (fail_day, infant) = if infant_hit {
                 // Manufacturing defect: failure age drawn from the infant
                 // CDF (Figure 6's spike in the first 90 days).
                 let age = infant_age_cdf().sample(rng).ceil().max(1.0) as u32;
@@ -260,12 +301,15 @@ impl LifecyclePlan {
             }
         }
 
-        LifecyclePlan {
-            deploy_day,
-            horizon_age,
-            failures,
-            terminal_unswapped_failure,
-        }
+        (
+            LifecyclePlan {
+                deploy_day,
+                horizon_age,
+                failures,
+                terminal_unswapped_failure,
+            },
+            log_weight,
+        )
     }
 
     /// True if the drive is planned to fail at least once in the window
@@ -402,6 +446,71 @@ mod tests {
         assert_eq!(t1.write_factor, t2.write_factor);
         assert_eq!(t1.ue_day_prob, t2.ue_day_prob);
         assert_eq!(t1.factory_bad_blocks, t2.factory_bad_blocks);
+    }
+
+    #[test]
+    fn boost_one_matches_uniform_sampling_exactly() {
+        let p = params();
+        for seed in 0..200 {
+            let mut r1 = SplitMix64::for_stream(21, seed);
+            let mut r2 = SplitMix64::for_stream(21, seed);
+            let t1 = DriveTraits::sample(&p, &mut r1);
+            let t2 = DriveTraits::sample(&p, &mut r2);
+            let a = LifecyclePlan::sample(&p, &t1, calibration::HORIZON_DAYS, &mut r1);
+            let (b, lw) =
+                LifecyclePlan::sample_weighted(&p, &t2, calibration::HORIZON_DAYS, &mut r2, 1.0);
+            assert_eq!(a.deploy_day, b.deploy_day);
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.terminal_unswapped_failure, b.terminal_unswapped_failure);
+            assert_eq!(lw.to_bits(), 0.0f64.to_bits());
+            // The RNG streams must stay in lockstep too.
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn boosted_sampling_oversamples_infants_and_weights_correct_it() {
+        let p = params();
+        let boost = 4.0;
+        let n = 20_000u32;
+        let mut raw_infants = 0u32;
+        let mut weighted_infants = 0.0f64;
+        let mut total_weight = 0.0f64;
+        for seed in 0..u64::from(n) {
+            let mut rng = SplitMix64::for_stream(13, seed);
+            let traits = DriveTraits::sample(&p, &mut rng);
+            let (plan, lw) = LifecyclePlan::sample_weighted(
+                &p,
+                &traits,
+                calibration::HORIZON_DAYS,
+                &mut rng,
+                boost,
+            );
+            let w = lw.exp();
+            total_weight += w;
+            if plan.failures.first().map(|f| f.infant).unwrap_or(false)
+                || plan
+                    .terminal_unswapped_failure
+                    .map(|t| t <= 90 && plan.failures.is_empty())
+                    .unwrap_or(false)
+            {
+                raw_infants += 1;
+                weighted_infants += w;
+            }
+        }
+        let p_inf = p.infant_failure_prob();
+        let q_inf = (p_inf * boost).min(0.5);
+        let raw_share = f64::from(raw_infants) / f64::from(n);
+        let weighted_share = weighted_infants / total_weight;
+        // Oversampled share tracks q, the weighted estimate recovers p,
+        // and the mean weight is ≈ 1 (self-normalization sanity).
+        assert!((raw_share - q_inf).abs() < 0.25 * q_inf, "raw {raw_share} vs q {q_inf}");
+        assert!(
+            (weighted_share - p_inf).abs() < 0.25 * p_inf,
+            "weighted {weighted_share} vs p {p_inf}"
+        );
+        let mean_w = total_weight / f64::from(n);
+        assert!((mean_w - 1.0).abs() < 0.05, "mean weight {mean_w}");
     }
 
     #[test]

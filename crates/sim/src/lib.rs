@@ -31,23 +31,29 @@
 //!
 //! ## Hot path
 //!
-//! [`generate_fleet`] materializes an owned [`ssd_types::FleetTrace`] —
+//! All fleet generation goes through the [`FleetGen`] builder.
+//! [`FleetGen::trace`] materializes an owned [`ssd_types::FleetTrace`] —
 //! convenient for analysis, but at paper scale (30k drives × 6 years) the
 //! intermediate trace costs gigabytes of array-of-structs reports. When
-//! the goal is an encoded archive, [`generate_fleet_archive`] emits each
-//! drive into a reusable columnar [`ReportArena`] and serializes it
-//! immediately, producing the same bytes as
-//! `encode_trace(&generate_fleet(..))` without the intermediate fleet (see
-//! DESIGN.md §"Simulator internals").
+//! the goal is an encoded archive, [`FleetGen::run`] emits each drive into
+//! a reusable columnar [`ReportArena`] and serializes it immediately,
+//! producing the same bytes as `encode_trace(&gen.trace())` without the
+//! intermediate fleet (see DESIGN.md §"Simulator internals").
+//! [`GenMode::FastForward`] additionally skips non-reporting days in O(1)
+//! per span (DESIGN.md §13) — same bytes, a fraction of the work — and
+//! [`Sampling::Importance`] oversamples the defective infant
+//! subpopulation, recording correcting log-weights in the archive.
 //!
 //! ```
-//! use ssd_sim::{generate_fleet, SimConfig};
+//! use ssd_sim::{FleetGen, GenMode, SimConfig};
 //!
-//! let trace = generate_fleet(&SimConfig {
+//! let config = SimConfig {
 //!     drives_per_model: 50,
 //!     horizon_days: 365,
 //!     seed: 1,
-//! });
+//!     ..SimConfig::default()
+//! };
+//! let trace = FleetGen::new(&config).mode(GenMode::FastForward).trace();
 //! assert_eq!(trace.n_drives(), 150);
 //! trace.validate().unwrap();
 //! ```
@@ -69,9 +75,11 @@ pub mod workload;
 pub use arena::ReportArena;
 pub use calibration::ModelParams;
 pub use config::SimConfig;
-pub use drive::{generate_drive_into, ReportSink};
+pub use drive::{generate_drive_into, DriveGenOptions, GenMode, ReportSink};
+pub use fleet::{ArchiveStats, FleetGen, Sampling};
+#[allow(deprecated)]
 pub use fleet::{
     generate_fleet, generate_fleet_archive, generate_fleet_archive_to, generate_fleet_sequential,
-    ArchiveStats,
 };
+pub use workload::WearModel;
 pub use health::{DriveTraits, LifecyclePlan, PlannedFailure};

@@ -1,10 +1,18 @@
-//! Daily workload generation: read/write/erase operations and P/E accrual.
+//! Daily workload generation: read/write/erase operations and P/E wear.
 //!
 //! Figure 7 of the paper shows that daily write intensity is roughly flat
 //! in drive age — except that *infant* drives see markedly **fewer** writes
 //! (ruling out the burn-in hypothesis for infant mortality). The model
 //! here reproduces exactly that: a drive-level log-normal intensity, daily
 //! log-normal jitter, and a < 1 multiplier during the first three months.
+//!
+//! Wear (P/E accrual) is handled separately by [`WearModel`]: a
+//! deterministic fixed-point rate per operational day, a pure function of
+//! the drive's traits and age. Determinism is what lets the fast-forward
+//! generator advance wear over a skipped span with one closed-form sum
+//! ([`WearModel::span`]) and land on exactly the integer the day-by-day
+//! walk would have reached — the byte-identity contract of
+//! [`crate::FleetGen`].
 
 use crate::calibration;
 use crate::dist;
@@ -12,7 +20,7 @@ use crate::health::DriveTraits;
 use ssd_stats::SplitMix64;
 
 /// One day's workload counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DayWorkload {
     /// Read operations served.
     pub read_ops: u64,
@@ -20,8 +28,6 @@ pub struct DayWorkload {
     pub write_ops: u64,
     /// Erase operations performed.
     pub erase_ops: u64,
-    /// Fractional P/E cycles accrued this day (accumulated by the caller).
-    pub pe_increment: f64,
 }
 
 /// Age-dependent write-intensity multiplier: reduced during the infancy
@@ -50,18 +56,99 @@ pub fn sample_day(traits: &DriveTraits, age_days: u32, rng: &mut SplitMix64) -> 
     let read_jitter = dist::log_normal(rng, 0.0, 0.25);
     let read_ops = write_ops * traits.read_ratio * read_jitter;
     let erase_ops = write_ops / calibration::WRITES_PER_ERASE;
-    let pe_increment = write_ops / calibration::WRITES_PER_PE_CYCLE;
     DayWorkload {
         read_ops: to_ops(read_ops),
         write_ops: to_ops(write_ops),
         erase_ops: to_ops(erase_ops),
-        pe_increment,
     }
 }
 
 #[inline]
 fn to_ops(x: f64) -> u64 {
     x.min(1e18).round().max(0.0) as u64
+}
+
+/// Fixed-point scale for wear accounting: rates are stored in units of
+/// `2^-20` P/E cycles per day, so integer sums are exact and
+/// order-independent.
+pub const WEAR_SCALE_BITS: u32 = 20;
+
+/// Length (days) of the infancy→mature write-intensity ramp.
+const RAMP_DAYS: u32 = 30;
+
+/// Deterministic per-drive wear: the median daily P/E accrual as a pure
+/// function of age, in fixed point.
+///
+/// The rate at age `a` is
+/// `round(2^20 · MEDIAN_DAILY_WRITES · write_factor · age_multiplier(a) /
+/// WRITES_PER_PE_CYCLE)`: the drive-level intensity without daily jitter.
+/// (The jittered *mean* would sit `e^{σ²/2} ≈ 13%` higher; the calibration
+/// bands in `tests/calibration_acceptance.rs` — Figure 8's under-1500
+/// fraction and Table 2's P/E↔age correlation — hold for the median-based
+/// rate.) Because `age_multiplier` takes only 32 distinct values (infant,
+/// 30 ramp days, mature), the cumulative wear over any age interval is a
+/// three-segment closed form.
+#[derive(Debug, Clone)]
+pub struct WearModel {
+    infant: u64,
+    mature: u64,
+    /// Prefix sums of the 30 ramp-day rates: `ramp_prefix[i]` is the wear
+    /// of ramp days `0..i`.
+    ramp_prefix: [u64; RAMP_DAYS as usize + 1],
+}
+
+impl WearModel {
+    /// Builds the rate table for one drive's traits.
+    pub fn new(traits: &DriveTraits) -> Self {
+        let base = calibration::MEDIAN_DAILY_WRITES * traits.write_factor
+            / calibration::WRITES_PER_PE_CYCLE;
+        let scale = f64::from(1u32 << WEAR_SCALE_BITS);
+        let rate = |mult: f64| (base * mult * scale).round().clamp(0.0, 1e18) as u64;
+        let mut ramp_prefix = [0u64; RAMP_DAYS as usize + 1];
+        for i in 0..RAMP_DAYS {
+            let mult = age_multiplier(calibration::INFANCY_DAYS + i);
+            ramp_prefix[i as usize + 1] = ramp_prefix[i as usize] + rate(mult);
+        }
+        WearModel {
+            infant: rate(calibration::INFANT_WRITE_MULT),
+            mature: rate(1.0),
+            ramp_prefix,
+        }
+    }
+
+    /// Fixed-point wear accrued on one operational day at `age`.
+    pub fn rate(&self, age: u32) -> u64 {
+        let infancy = calibration::INFANCY_DAYS;
+        if age < infancy {
+            self.infant
+        } else if age < infancy + RAMP_DAYS {
+            let i = (age - infancy) as usize;
+            self.ramp_prefix[i + 1] - self.ramp_prefix[i]
+        } else {
+            self.mature
+        }
+    }
+
+    /// Total fixed-point wear over the operational ages `[from, to)` —
+    /// exactly `Σ rate(a)`, evaluated in O(1).
+    pub fn span(&self, from: u32, to: u32) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let infancy = calibration::INFANCY_DAYS;
+        let ramp_end = infancy + RAMP_DAYS;
+        let infant_days = u64::from(to.min(infancy).saturating_sub(from.min(infancy)));
+        let lo = (from.clamp(infancy, ramp_end) - infancy) as usize;
+        let hi = (to.clamp(infancy, ramp_end) - infancy) as usize;
+        let mature_days = u64::from(to.max(ramp_end) - from.max(ramp_end));
+        self.infant * infant_days + (self.ramp_prefix[hi] - self.ramp_prefix[lo])
+            + self.mature * mature_days
+    }
+
+    /// Whole P/E cycles represented by a fixed-point wear accumulator.
+    pub fn cycles(wear: u64) -> u32 {
+        (wear >> WEAR_SCALE_BITS).min(u64::from(u32::MAX)) as u32
+    }
 }
 
 #[cfg(test)]
@@ -106,31 +193,28 @@ mod tests {
     }
 
     #[test]
-    fn pe_increment_tracks_writes() {
-        let t = traits(2);
-        let mut rng = SplitMix64::new(3);
-        let d = sample_day(&t, 500, &mut rng);
-        let expected = d.write_ops as f64 / calibration::WRITES_PER_PE_CYCLE;
-        assert!((d.pe_increment - expected).abs() / expected < 0.01);
-        assert!(d.erase_ops > 0);
-        assert!(d.read_ops > 0);
+    fn wear_span_equals_per_day_sum() {
+        let w = WearModel::new(&traits(2));
+        // Across every boundary of the piecewise rate.
+        for (from, to) in [(0, 90), (80, 130), (90, 120), (0, 500), (117, 118), (300, 300)] {
+            let daily: u64 = (from..to).map(|a| w.rate(a)).sum();
+            assert_eq!(w.span(from, to), daily, "span [{from}, {to})");
+        }
+        assert!(w.rate(30) < w.rate(100));
+        assert!(w.rate(100) < w.rate(500));
     }
 
     #[test]
     fn median_daily_pe_rate_is_sub_unity() {
         // The fleet-median P/E accrual must keep six-year totals well under
         // the 3000-cycle limit (Figure 8: most failures < 1500 cycles).
-        let mut rates = Vec::new();
-        for seed in 0..300 {
-            let t = traits(seed);
-            let mut rng = SplitMix64::for_stream(99, seed);
-            let mean_inc: f64 = (0..50)
-                .map(|_| sample_day(&t, 1000, &mut rng).pe_increment)
-                .sum::<f64>()
-                / 50.0;
-            rates.push(mean_inc);
-        }
-        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut rates: Vec<f64> = (0..300)
+            .map(|seed| {
+                let w = WearModel::new(&traits(seed));
+                w.rate(1000) as f64 / f64::from(1u32 << WEAR_SCALE_BITS)
+            })
+            .collect();
+        rates.sort_by(|a, b| a.total_cmp(b));
         let median = rates[rates.len() / 2];
         assert!(median < 1.0, "median daily P/E rate {median}");
         assert!(median > 0.2, "median daily P/E rate {median}");

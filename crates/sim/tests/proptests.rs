@@ -4,7 +4,7 @@
 use ssd_sim::calibration::ModelParams;
 use ssd_sim::dist::PiecewiseCdf;
 use ssd_sim::drive::generate_drive;
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_sim::{FleetGen, GenMode, Sampling, SimConfig};
 use ssd_stats::SplitMix64;
 use ssd_testkit::for_each_case;
 use ssd_types::{DriveId, DriveModel};
@@ -61,12 +61,66 @@ fn small_fleets_validate_and_are_deterministic() {
             drives_per_model: g.u32_in(1, 20),
             horizon_days: g.u32_in(200, 1500),
             seed: g.u64(),
+            ..SimConfig::default()
         };
-        let a = generate_fleet(&cfg);
+        let a = FleetGen::new(&cfg).trace();
         assert!(a.validate().is_ok());
-        let b = generate_fleet(&cfg);
+        let b = FleetGen::new(&cfg).trace();
         assert_eq!(a, b);
     });
+}
+
+#[test]
+fn fast_forward_archives_match_day_by_day_for_arbitrary_configs() {
+    for_each_case(
+        "fast_forward_archives_match_day_by_day_for_arbitrary_configs",
+        24,
+        |g| {
+            let cfg = SimConfig {
+                drives_per_model: g.u32_in(1, 12),
+                horizon_days: g.u32_in(200, 1500),
+                seed: g.u64(),
+                report_permille: g.u32_in(1, 1000),
+            };
+            let sampling = if g.u32_in(0, 2) == 1 {
+                Sampling::Importance {
+                    boost: g.f64_in(1.0, 8.0),
+                }
+            } else {
+                Sampling::Uniform
+            };
+            let dbd = FleetGen::new(&cfg).sampling(sampling).run_vec();
+            let ff = FleetGen::new(&cfg)
+                .mode(GenMode::FastForward)
+                .sampling(sampling)
+                .run_vec();
+            assert_eq!(dbd, ff, "traversal mode changed archive bytes");
+        },
+    );
+}
+
+#[test]
+fn importance_sampled_fleets_validate_with_finite_weights() {
+    for_each_case(
+        "importance_sampled_fleets_validate_with_finite_weights",
+        16,
+        |g| {
+            let cfg = SimConfig {
+                drives_per_model: g.u32_in(1, 15),
+                horizon_days: g.u32_in(200, 1200),
+                seed: g.u64(),
+                ..SimConfig::default()
+            };
+            let boost = g.f64_in(1.0, 16.0);
+            let trace = FleetGen::new(&cfg)
+                .sampling(Sampling::Importance { boost })
+                .trace();
+            assert!(trace.validate().is_ok());
+            for d in &trace.drives {
+                assert!(d.log_weight.is_finite(), "non-finite weight");
+            }
+        },
+    );
 }
 
 #[test]

@@ -68,6 +68,57 @@ impl KaplanMeier {
         }
     }
 
+    /// Fits the product-limit estimator with per-observation weights.
+    ///
+    /// `weights[i]` scales observation `i`'s contribution to both the
+    /// event mass and the risk set — the Horvitz–Thompson form used with
+    /// importance-sampled fleets, where each drive carries
+    /// `exp(log_weight)`. With all weights equal to `1.0` this reduces
+    /// exactly to [`fit`](KaplanMeier::fit) (pinned by a test).
+    /// `n_events`/`n_censored` remain raw observation counts.
+    pub fn fit_weighted(durations: &[Duration], weights: &[f64]) -> Self {
+        assert_eq!(
+            durations.len(),
+            weights.len(),
+            "one weight per duration required"
+        );
+        let mut sorted: Vec<(Duration, f64)> = durations
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .collect();
+        sorted.sort_by(|a, b| a.0.time.total_cmp(&b.0.time));
+        let n_events = sorted.iter().filter(|(d, _)| d.event).count();
+        let n_censored = sorted.len() - n_events;
+
+        let mut steps = Vec::new();
+        let mut at_risk: f64 = sorted.iter().map(|&(_, w)| w).sum();
+        let mut survival = 1.0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].0.time;
+            let mut events = 0.0;
+            let mut leaving = 0.0;
+            while i < sorted.len() && sorted[i].0.time == t {
+                if sorted[i].0.event {
+                    events += sorted[i].1;
+                }
+                leaving += sorted[i].1;
+                i += 1;
+            }
+            if events > 0.0 && at_risk > 0.0 {
+                survival *= 1.0 - events / at_risk;
+                steps.push((t, survival));
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier {
+            steps,
+            n_events,
+            n_censored,
+        }
+    }
+
     /// Survival probability `S(t)` (right-continuous step function).
     pub fn survival(&self, t: f64) -> f64 {
         match self.steps.partition_point(|&(time, _)| time <= t) {
@@ -213,6 +264,61 @@ mod tests {
         let b = KaplanMeier::fit(&censored);
         for t in 1..=10 {
             assert!(b.survival(t as f64) >= a.survival(t as f64) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_fit() {
+        let data = [
+            obs(6.0, true),
+            obs(7.0, true),
+            obs(9.0, false),
+            obs(10.0, true),
+            obs(11.0, false),
+        ];
+        let w = vec![1.0; data.len()];
+        assert_eq!(KaplanMeier::fit_weighted(&data, &w), KaplanMeier::fit(&data));
+    }
+
+    #[test]
+    fn integer_weights_equal_repetition() {
+        // Weight k behaves like k copies of the observation.
+        let data = [obs(2.0, true), obs(4.0, false), obs(6.0, true)];
+        let weights = [3.0, 2.0, 1.0];
+        let mut expanded = Vec::new();
+        for (d, &w) in data.iter().zip(&weights) {
+            for _ in 0..w as usize {
+                expanded.push(*d);
+            }
+        }
+        let a = KaplanMeier::fit_weighted(&data, &weights);
+        let b = KaplanMeier::fit(&expanded);
+        assert_eq!(a.steps().len(), b.steps().len());
+        for (&(ta, sa), &(tb, sb)) in a.steps().iter().zip(b.steps()) {
+            assert_eq!(ta, tb);
+            assert!((sa - sb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_fit_is_scale_invariant() {
+        // Only weight *ratios* matter: scaling every weight by a constant
+        // leaves the product-limit curve unchanged.
+        let data = [
+            obs(2.0, true),
+            obs(3.0, false),
+            obs(5.0, true),
+            obs(8.0, true),
+            obs(9.0, false),
+        ];
+        let w1 = [0.5, 2.0, 1.0, 3.0, 0.25];
+        let w4: Vec<f64> = w1.iter().map(|w| w * 4.0).collect();
+        let a = KaplanMeier::fit_weighted(&data, &w1);
+        let b = KaplanMeier::fit_weighted(&data, &w4);
+        assert_eq!(a.steps().len(), b.steps().len());
+        for (&(ta, sa), &(tb, sb)) in a.steps().iter().zip(b.steps()) {
+            assert_eq!(ta, tb);
+            assert!((sa - sb).abs() < 1e-12);
         }
     }
 

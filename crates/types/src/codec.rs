@@ -13,14 +13,22 @@
 //! ## Wire framing
 //!
 //! ```text
-//! archive   := MAGIC("SSDFS\0v1") varint(horizon_days) varint(n_drives) drive*
-//! drive     := varint(id) u8(model) varint(n_reports) report* swaps
+//! archive   := MAGIC("SSDFS\0v2") varint(horizon_days) varint(n_drives) drive*
+//! drive     := varint(id) u8(model) varint(bits(log_weight))
+//!              varint(n_reports) report* swaps
 //! report    := varint(age) varint(read) varint(write) varint(erase)
 //!              varint(pe) u8(flags) varint(fbb) varint(gbb)
 //!              varint(err[0]) .. varint(err[9])
 //! swaps     := varint(n_swaps) (varint(swap_day) u8(has_reentry)
 //!              [varint(reentry_day)])*
 //! ```
+//!
+//! `bits(log_weight)` is the IEEE-754 bit pattern of the drive's
+//! importance-sampling log-weight ([`DriveLog::log_weight`]); uniformly
+//! sampled drives carry `+0.0`, whose bit pattern is `0` — a single
+//! varint byte. Decoders also accept the previous `"SSDFS\0v1"` framing
+//! (identical except the drive record has no weight field); v1 drives
+//! decode with log-weight `0.0`. Encoders always write v2.
 //!
 //! There are no per-drive length prefixes or sync markers: records are
 //! self-delimiting, so the archive can only be read front to back — which
@@ -84,8 +92,21 @@ use crate::{
 };
 use std::io::{Read, Write};
 
-/// Magic bytes + format version prefix.
-const MAGIC: &[u8; 8] = b"SSDFS\0v1";
+/// Magic bytes + format version prefix (current version, always written).
+const MAGIC: &[u8; 8] = b"SSDFS\0v2";
+
+/// Previous format version: identical framing minus the per-drive
+/// log-weight field. Still accepted on decode.
+const MAGIC_V1: &[u8; 8] = b"SSDFS\0v1";
+
+/// Archive format version, detected from the magic header on decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    /// Weightless drive records.
+    V1,
+    /// Drive records carry an importance-sampling log-weight.
+    V2,
+}
 
 /// Bit set in the report flags byte when the drive failed (`status_dead`).
 pub const STATUS_DEAD: u8 = 1;
@@ -326,10 +347,10 @@ fn get_varint_u32<S: Src>(src: &mut S) -> Result<u32, DecodeError> {
     u32::try_from(v).map_err(|_| DecodeError::VarintOverflow { offset: at })
 }
 
-/// Reads and checks the magic/version header. A source that ends before
-/// the full magic is a `BadMagic` (there is no archive here at all), not
-/// an `UnexpectedEof`.
-fn expect_magic<S: Src>(src: &mut S) -> Result<(), DecodeError> {
+/// Reads and checks the magic/version header, returning the detected
+/// format version. A source that ends before the full magic is a
+/// `BadMagic` (there is no archive here at all), not an `UnexpectedEof`.
+fn expect_magic<S: Src>(src: &mut S) -> Result<Version, DecodeError> {
     let mut got = Vec::with_capacity(MAGIC.len());
     for _ in 0..MAGIC.len() {
         match src.next_u8() {
@@ -340,10 +361,13 @@ fn expect_magic<S: Src>(src: &mut S) -> Result<(), DecodeError> {
             Err(e) => return Err(e),
         }
     }
-    if got != MAGIC {
-        return Err(DecodeError::BadMagic { got });
+    if got == MAGIC {
+        Ok(Version::V2)
+    } else if got == MAGIC_V1 {
+        Ok(Version::V1)
+    } else {
+        Err(DecodeError::BadMagic { got })
     }
-    Ok(())
 }
 
 fn encode_report(buf: &mut Vec<u8>, r: &DailyReport) {
@@ -446,17 +470,20 @@ impl ReportColumns<'_> {
 }
 
 /// Encodes one drive record from a columnar view, byte-identical to the
-/// [`DriveLog`] path for the same data.
+/// [`DriveLog`] path for the same data. `log_weight` is the drive's
+/// importance-sampling log-weight (`0.0` for uniform sampling).
 pub fn encode_drive_soa(
     buf: &mut Vec<u8>,
     id: DriveId,
     model: DriveModel,
+    log_weight: f64,
     cols: ReportColumns<'_>,
     swaps: &[SwapEvent],
 ) {
     cols.assert_rectangular();
     put_varint(buf, u64::from(id.0));
     buf.push(model.index() as u8);
+    put_varint(buf, log_weight.to_bits());
     put_varint(buf, cols.len() as u64);
     for i in 0..cols.len() {
         put_varint(buf, u64::from(cols.age_days[i]));
@@ -491,6 +518,7 @@ fn encode_swaps(buf: &mut Vec<u8>, swaps: &[SwapEvent]) {
 fn encode_drive(buf: &mut Vec<u8>, d: &DriveLog) {
     put_varint(buf, u64::from(d.id.0));
     buf.push(d.model.index() as u8);
+    put_varint(buf, d.log_weight.to_bits());
     put_varint(buf, d.reports.len() as u64);
     for r in &d.reports {
         encode_report(buf, r);
@@ -538,11 +566,19 @@ fn decode_swaps_into<S: Src>(src: &mut S, swaps: &mut Vec<SwapEvent>) -> Result<
 
 /// Decodes one drive record into `log`, reusing its report/swap buffer
 /// capacity. On error the log's contents are unspecified.
-fn decode_drive_into<S: Src>(src: &mut S, log: &mut DriveLog) -> Result<(), DecodeError> {
+fn decode_drive_into<S: Src>(
+    src: &mut S,
+    version: Version,
+    log: &mut DriveLog,
+) -> Result<(), DecodeError> {
     log.reports.clear();
     log.swaps.clear();
     log.id = DriveId(get_varint_u32(src)?);
     log.model = decode_model(src)?;
+    log.log_weight = match version {
+        Version::V1 => 0.0,
+        Version::V2 => f64::from_bits(get_varint(src)?),
+    };
     let n_reports = get_varint(src)? as usize;
     log.reports.reserve(n_reports.min(1 << 20));
     for _ in 0..n_reports {
@@ -565,10 +601,12 @@ struct ColumnStore {
     grown_bad_blocks: Vec<u32>,
     errors: [Vec<u64>; ErrorKind::COUNT],
     swaps: Vec<SwapEvent>,
+    log_weight: f64,
 }
 
 impl ColumnStore {
     fn clear(&mut self) {
+        self.log_weight = 0.0;
         self.age_days.clear();
         self.read_ops.clear();
         self.write_ops.clear();
@@ -602,11 +640,16 @@ impl ColumnStore {
 /// `DailyReport` structs), returning its identity.
 fn decode_drive_columns_into<S: Src>(
     src: &mut S,
+    version: Version,
     cols: &mut ColumnStore,
 ) -> Result<(DriveId, DriveModel), DecodeError> {
     cols.clear();
     let id = DriveId(get_varint_u32(src)?);
     let model = decode_model(src)?;
+    cols.log_weight = match version {
+        Version::V1 => 0.0,
+        Version::V2 => f64::from_bits(get_varint(src)?),
+    };
     let n_reports = get_varint(src)? as usize;
     for _ in 0..n_reports {
         cols.age_days.push(get_varint_u32(src)?);
@@ -638,6 +681,8 @@ pub struct DriveColumns<'a> {
     pub columns: ReportColumns<'a>,
     /// The drive's swap events.
     pub swaps: &'a [SwapEvent],
+    /// Importance-sampling log-weight (`0.0` in legacy v1 archives).
+    pub log_weight: f64,
 }
 
 /// Streaming archive reader: pulls drives one at a time from any
@@ -664,6 +709,7 @@ pub struct DriveColumns<'a> {
 #[derive(Debug)]
 pub struct TraceDecoder<R> {
     src: StreamSrc<R>,
+    version: Version,
     horizon_days: u32,
     n_drives: u64,
     decoded: u64,
@@ -680,16 +726,23 @@ impl<R: Read> TraceDecoder<R> {
     /// capacity in bytes (the decoder's only size-dependent allocation).
     pub fn with_buffer_capacity(reader: R, capacity: usize) -> Result<Self, DecodeError> {
         let mut src = StreamSrc::new(reader, capacity);
-        expect_magic(&mut src)?;
+        let version = expect_magic(&mut src)?;
         let horizon_days = get_varint_u32(&mut src)?;
         let n_drives = get_varint(&mut src)?;
         Ok(TraceDecoder {
             src,
+            version,
             horizon_days,
             n_drives,
             decoded: 0,
             cols: ColumnStore::default(),
         })
+    }
+
+    /// True when the archive uses the legacy v1 (weightless) framing; all
+    /// its drives decode with log-weight `0.0`.
+    pub fn is_legacy_weightless(&self) -> bool {
+        self.version == Version::V1
     }
 
     /// Observation-window length from the archive header.
@@ -719,7 +772,7 @@ impl<R: Read> TraceDecoder<R> {
         if self.decoded >= self.n_drives {
             return Ok(false);
         }
-        decode_drive_into(&mut self.src, log)?;
+        decode_drive_into(&mut self.src, self.version, log)?;
         self.decoded += 1;
         Ok(true)
     }
@@ -738,7 +791,7 @@ impl<R: Read> TraceDecoder<R> {
             if n == out.len() {
                 out.push(DriveLog::new(DriveId(0), DriveModel::from_index(0)));
             }
-            decode_drive_into(&mut self.src, &mut out[n])?;
+            decode_drive_into(&mut self.src, self.version, &mut out[n])?;
             self.decoded += 1;
             n += 1;
         }
@@ -753,13 +806,14 @@ impl<R: Read> TraceDecoder<R> {
         if self.decoded >= self.n_drives {
             return Ok(None);
         }
-        let (id, model) = decode_drive_columns_into(&mut self.src, &mut self.cols)?;
+        let (id, model) = decode_drive_columns_into(&mut self.src, self.version, &mut self.cols)?;
         self.decoded += 1;
         Ok(Some(DriveColumns {
             id,
             model,
             columns: self.cols.view(),
             swaps: &self.cols.swaps,
+            log_weight: self.cols.log_weight,
         }))
     }
 
@@ -866,15 +920,17 @@ impl<W: Write> TraceEncoder<W> {
         self.flush_scratch()
     }
 
-    /// Appends one drive from a columnar report view.
+    /// Appends one drive from a columnar report view with the given
+    /// importance-sampling log-weight (`0.0` for uniform sampling).
     pub fn append_columns(
         &mut self,
         id: DriveId,
         model: DriveModel,
+        log_weight: f64,
         cols: ReportColumns<'_>,
         swaps: &[SwapEvent],
     ) -> std::io::Result<()> {
-        encode_drive_soa(&mut self.scratch, id, model, cols, swaps);
+        encode_drive_soa(&mut self.scratch, id, model, log_weight, cols, swaps);
         self.appended += 1;
         self.flush_scratch()
     }
@@ -982,13 +1038,13 @@ pub fn encode_trace_to<W: Write>(trace: &FleetTrace, sink: W) -> std::io::Result
 /// consumption of large archives use [`TraceDecoder`] instead.
 pub fn decode_trace(buf: &[u8]) -> Result<FleetTrace, DecodeError> {
     let mut src = SliceSrc::new(buf);
-    expect_magic(&mut src)?;
+    let version = expect_magic(&mut src)?;
     let horizon_days = get_varint_u32(&mut src)?;
     let n_drives = get_varint(&mut src)? as usize;
     let mut drives = Vec::with_capacity(n_drives.min(1 << 22));
     for _ in 0..n_drives {
         let mut log = DriveLog::new(DriveId(0), DriveModel::from_index(0));
-        decode_drive_into(&mut src, &mut log)?;
+        decode_drive_into(&mut src, version, &mut log)?;
         drives.push(log);
     }
     Ok(FleetTrace {
@@ -1037,6 +1093,8 @@ mod tests {
                     reentry_day: None,
                 });
             }
+            // Mixed weights so every roundtrip exercises the v2 column.
+            d.log_weight = f64::from(i) * -0.35;
             t.drives.push(d);
         }
         t
@@ -1193,7 +1251,7 @@ mod tests {
             encode_drive(&mut aos, d);
             let cols = Cols::from_reports(&d.reports);
             let mut soa = Vec::new();
-            encode_drive_soa(&mut soa, d.id, d.model, cols.view(), &d.swaps);
+            encode_drive_soa(&mut soa, d.id, d.model, d.log_weight, cols.view(), &d.swaps);
             assert_eq!(aos, soa, "drive {:?}", d.id);
         }
     }
@@ -1207,8 +1265,14 @@ mod tests {
         let mut enc = TraceEncoder::new(t.horizon_days, t.drives.len() as u64);
         enc.append_drive(&t.drives[0]).unwrap();
         let cols = Cols::from_reports(&t.drives[1].reports);
-        enc.append_columns(t.drives[1].id, t.drives[1].model, cols.view(), &t.drives[1].swaps)
-            .unwrap();
+        enc.append_columns(
+            t.drives[1].id,
+            t.drives[1].model,
+            t.drives[1].log_weight,
+            cols.view(),
+            &t.drives[1].swaps,
+        )
+        .unwrap();
         let mut chunk = Vec::new();
         encode_drive(&mut chunk, &t.drives[2]);
         enc.append_encoded(1, &chunk).unwrap();
@@ -1328,9 +1392,17 @@ mod tests {
             assert_eq!(view.model, expected.model);
             assert_eq!(view.swaps, expected.swaps.as_slice());
             assert_eq!(view.columns.len(), expected.reports.len());
+            assert_eq!(view.log_weight.to_bits(), expected.log_weight.to_bits());
             // Re-encoding the borrowed view reproduces the drive's bytes.
             let mut via_cols = Vec::new();
-            encode_drive_soa(&mut via_cols, view.id, view.model, view.columns, view.swaps);
+            encode_drive_soa(
+                &mut via_cols,
+                view.id,
+                view.model,
+                view.log_weight,
+                view.columns,
+                view.swaps,
+            );
             let mut via_log = Vec::new();
             encode_drive(&mut via_log, expected);
             assert_eq!(via_cols, via_log);
@@ -1413,6 +1485,112 @@ mod tests {
         assert_eq!(enc.appended_drives(), t.drives.len() as u64);
         assert_eq!(enc.bytes_written(), encode_trace(&t).len() as u64);
         enc.finish_sink().unwrap();
+    }
+
+    /// Encodes `t` in the legacy v1 framing (no per-drive weight field).
+    fn encode_trace_v1(t: &FleetTrace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        put_varint(&mut buf, u64::from(t.horizon_days));
+        put_varint(&mut buf, t.drives.len() as u64);
+        for d in &t.drives {
+            put_varint(&mut buf, u64::from(d.id.0));
+            buf.push(d.model.index() as u8);
+            put_varint(&mut buf, d.reports.len() as u64);
+            for r in &d.reports {
+                encode_report(&mut buf, r);
+            }
+            encode_swaps(&mut buf, &d.swaps);
+        }
+        buf
+    }
+
+    #[test]
+    fn legacy_v1_archives_decode_with_zero_weights() {
+        let t = sample_trace();
+        let v1 = encode_trace_v1(&t);
+        // Resident path.
+        let back = decode_trace(&v1).unwrap();
+        assert!(back.drives.iter().all(|d| d.log_weight.to_bits() == 0));
+        let mut expected = t.clone();
+        for d in &mut expected.drives {
+            d.log_weight = 0.0;
+        }
+        assert_eq!(back, expected);
+        // Streaming path, both record shapes.
+        let mut dec = TraceDecoder::new(&v1[..]).unwrap();
+        assert!(dec.is_legacy_weightless());
+        let drives: Vec<DriveLog> = (&mut dec).map(|d| d.unwrap()).collect();
+        assert_eq!(drives, expected.drives);
+        let mut dec = TraceDecoder::new(&v1[..]).unwrap();
+        while let Some(view) = dec.next_drive_columns().unwrap() {
+            assert_eq!(view.log_weight.to_bits(), 0);
+        }
+        // Current-format archives are not flagged legacy.
+        let v2 = encode_trace(&t);
+        assert!(!TraceDecoder::new(&v2[..]).unwrap().is_legacy_weightless());
+    }
+
+    #[test]
+    fn mutated_weighted_and_legacy_archives_never_panic() {
+        // Decode fuzz over BOTH framings: truncations at every prefix
+        // length and deterministic byte flips must yield Ok or a typed
+        // DecodeError — never a panic — whether the bytes started as a
+        // weighted v2 archive or a legacy weightless v1 one.
+        let t = sample_trace();
+        let mut s = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for archive in [encode_trace(&t), encode_trace_v1(&t)] {
+            for cut in 0..archive.len() {
+                let _ = decode_trace(&archive[..cut]);
+            }
+            for _ in 0..256 {
+                let mut bytes = archive.clone();
+                for _ in 0..(next() % 4 + 1) {
+                    let at = (next() % bytes.len() as u64) as usize;
+                    bytes[at] ^= (next() as u8) | 1;
+                }
+                if let Ok(back) = decode_trace(&bytes) {
+                    // Whatever decoded must also survive a re-encode.
+                    let _ = encode_trace(&back);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_column_roundtrips_arbitrary_bit_patterns() {
+        // Deterministic xorshift so the fuzz corpus is stable.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut t = FleetTrace::new(100);
+        for i in 0..64u32 {
+            let mut d = DriveLog::new(DriveId(i), DriveModel::from_index((i % 3) as usize));
+            d.reports.push(DailyReport::empty(i));
+            // Arbitrary bit patterns: subnormals, negatives, huge values —
+            // the codec must preserve bits exactly (NaNs excluded only
+            // because PartialEq can't compare them; bits are asserted).
+            d.log_weight = f64::from_bits(next());
+            if d.log_weight.is_nan() {
+                d.log_weight = -f64::from_bits(next() >> 12);
+            }
+            t.drives.push(d);
+        }
+        let bytes = encode_trace(&t);
+        let back = decode_trace(&bytes).unwrap();
+        for (a, b) in back.drives.iter().zip(&t.drives) {
+            assert_eq!(a.log_weight.to_bits(), b.log_weight.to_bits());
+        }
     }
 
     #[test]

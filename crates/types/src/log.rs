@@ -16,9 +16,20 @@ pub struct DriveLog {
     pub reports: Vec<DailyReport>,
     /// Swap events, strictly increasing in `swap_day`.
     pub swaps: Vec<SwapEvent>,
+    /// Importance-sampling log-weight `ln(p/q)` assigned at generation
+    /// time. Exactly `0.0` for uniformly sampled drives (and for drives
+    /// decoded from legacy weightless archives); weighted estimators
+    /// multiply by `exp(log_weight)`.
+    pub log_weight: f64,
 }
 
-crate::impl_json_struct!(DriveLog { id, model, reports, swaps });
+crate::impl_json_struct!(DriveLog {
+    id,
+    model,
+    reports,
+    swaps,
+    log_weight
+});
 
 impl DriveLog {
     /// Creates an empty log for a drive.
@@ -28,6 +39,7 @@ impl DriveLog {
             model,
             reports: Vec::new(),
             swaps: Vec::new(),
+            log_weight: 0.0,
         }
     }
 

@@ -67,6 +67,9 @@ fn arb_drive(g: &mut Gen, id: u32) -> DriveLog {
         model: DriveModel::from_index(model),
         reports,
         swaps,
+        // Arbitrary finite log-weights (negative, zero, positive) so every
+        // roundtrip exercises the v2 weight field.
+        log_weight: (g.u32_in(0, 2000) as f64 - 1000.0) / 250.0,
     }
 }
 
@@ -205,6 +208,9 @@ fn stream_roundtrip_matches_resident_at_chunk_sizes() {
 fn arb_valid_trace(g: &mut Gen) -> FleetTrace {
     let mut trace = arb_trace(g);
     for d in &mut trace.drives {
+        // The CSV interchange format has no weight column; keep the
+        // roundtrip comparison meaningful.
+        d.log_weight = 0.0;
         let mut pe = 0u32;
         let mut fbb = 0u32;
         let mut gbb = 0u32;
@@ -316,7 +322,7 @@ fn soa_encoding_matches_aos_for_arbitrary_traces() {
             TraceEncoder::new(trace.horizon_days, trace.drives.len() as u64);
         for d in &trace.drives {
             let cols = OwnedColumns::from_reports(&d.reports);
-            enc.append_columns(d.id, d.model, cols.view(), &d.swaps)
+            enc.append_columns(d.id, d.model, d.log_weight, cols.view(), &d.swaps)
                 .expect("Vec sink cannot fail");
         }
         let soa = enc.finish();
@@ -333,7 +339,7 @@ fn per_drive_soa_encoding_is_self_consistent() {
         let d = arb_drive(g, id);
         let cols = OwnedColumns::from_reports(&d.reports);
         let mut soa = Vec::new();
-        encode_drive_soa(&mut soa, d.id, d.model, cols.view(), &d.swaps);
+        encode_drive_soa(&mut soa, d.id, d.model, d.log_weight, cols.view(), &d.swaps);
         let mut enc = TraceEncoder::new(100, 1);
         enc.append_drive(&d).expect("Vec sink cannot fail");
         let via_log = enc.finish();

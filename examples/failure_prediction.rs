@@ -16,14 +16,16 @@ use ssd_field_study::ml::{
     GbdtConfig, KnnConfig, LinearSvmConfig, LogisticRegressionConfig, MlpConfig,
     NaiveBayesConfig, RocCurve, Trainer, TreeConfig,
 };
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 
 fn main() {
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 700,
         horizon_days: 6 * 365,
         seed: 9,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     let data = build_dataset(
         &trace,
         &ExtractOptions {

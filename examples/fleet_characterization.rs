@@ -10,14 +10,16 @@
 //! ```
 
 use ssd_field_study::core::{aging, characterize, errors_analysis, lifecycle};
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 
 fn main() {
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 800,
         horizon_days: 6 * 365,
         seed: 1,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     println!(
         "== fleet: {} drives / {} drive-days ==\n",
         trace.n_drives(),

@@ -13,14 +13,16 @@ use ssd_field_study::core::observations::{
     audit_model_observations, audit_trace_observations, render_checks,
 };
 use ssd_field_study::core::PredictConfig;
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 
 fn main() {
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 700,
         horizon_days: 6 * 365,
         seed: 13,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     println!(
         "auditing {} drives / {} drive-days against the paper's observations...\n",
         trace.n_drives(),

@@ -16,7 +16,7 @@
 
 use ssd_field_study::core::{build_dataset, failure_records, ExtractOptions};
 use ssd_field_study::ml::{downsample_majority, ForestConfig, Trainer};
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use std::collections::HashSet;
 
 /// Relative costs (in arbitrary ops-budget units).
@@ -26,16 +26,20 @@ const COST_FALSE_ALERT: f64 = 12.0; // migration that wasn't needed
 
 fn main() {
     // Train on one fleet, deploy on another (no shared drives).
-    let train_trace = generate_fleet(&SimConfig {
+    let train_trace = FleetGen::new(&SimConfig {
         drives_per_model: 600,
         horizon_days: 6 * 365,
         seed: 100,
-    });
-    let deploy_trace = generate_fleet(&SimConfig {
+        ..SimConfig::default()
+    })
+    .trace();
+    let deploy_trace = FleetGen::new(&SimConfig {
         drives_per_model: 600,
         horizon_days: 6 * 365,
         seed: 200,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
 
     let opts = ExtractOptions {
         lookahead_days: 3,

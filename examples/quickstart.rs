@@ -7,15 +7,17 @@
 
 use ssd_field_study::core::{build_dataset, ExtractOptions};
 use ssd_field_study::ml::{cross_validate, CvOptions, ForestConfig};
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 
 fn main() {
     // 1. Simulate a fleet: 300 drives of each MLC model over six years.
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 300,
         horizon_days: 6 * 365,
         seed: 42,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     println!(
         "fleet: {} drives, {} drive-days, {} swap events",
         trace.n_drives(),

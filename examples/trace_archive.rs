@@ -6,15 +6,17 @@
 //! cargo run --release --example trace_archive
 //! ```
 
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::codec;
 
 fn main() {
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 150,
         horizon_days: 3 * 365,
         seed: 5,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     println!(
         "trace: {} drives, {} drive-days",
         trace.n_drives(),

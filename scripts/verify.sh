@@ -28,8 +28,19 @@ cargo test -q --offline --workspace
 echo "== benches compile (all 14 targets) =="
 cargo bench --no-run --offline --workspace
 
-echo "== bench smoke: bench_sim (incl. encode_stream/decode_stream) + ML kernels + flat predict + history compare =="
+echo "== bench smoke: bench_sim (incl. fastforward + encode_stream/decode_stream) + ML kernels + flat predict + history compare =="
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_sim
+
+echo "== deprecation gate: no in-tree caller of the deprecated generate_fleet* wrappers =="
+# The wrappers live in crates/sim/src/fleet.rs (definitions + equivalence
+# test) and are re-exported from crates/sim/src/lib.rs; everything else
+# must use the FleetGen builder. Comment/doc mentions are fine.
+if grep -rn 'generate_fleet' --include='*.rs' src tests examples crates \
+  | grep -v '^crates/sim/src/fleet\.rs:' \
+  | grep -v '^crates/sim/src/lib\.rs:' \
+  | grep -v -E '^[^:]+:[0-9]+:\s*//'; then
+  echo "ERROR: deprecated generate_fleet* referenced outside crates/sim wrappers"; exit 1
+fi
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_ml_kernels train_2k_rows
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_flat_predict flat_predict
 scripts/bench_compare.sh
@@ -50,6 +61,15 @@ printf 'not an archive' > "$smoke_dir/corrupt.ssdfs"
 if target/release/ssdstat --trace "$smoke_dir/corrupt.ssdfs" > /dev/null 2>&1; then
   echo "ERROR: ssdstat accepted a corrupt archive"; exit 1
 fi
+
+echo "== fast-forward smoke: --fast-forward archive byte-identical, --importance decodable =="
+target/release/ssdgen --out "$smoke_dir/ff" --drives 7 --days 800 --seed 99 \
+  --format bin --fast-forward
+cmp "$smoke_dir/trace.ssdfs" "$smoke_dir/ff/trace.ssdfs" \
+  || { echo "ERROR: fast-forward archive diverged from day-by-day bytes"; exit 1; }
+target/release/ssdgen --out "$smoke_dir/imp" --drives 7 --days 800 --seed 99 \
+  --format bin --fast-forward --importance 4
+target/release/ssdstat --trace "$smoke_dir/imp/trace.ssdfs" > /dev/null
 
 echo "== online prediction smoke: train + rank streamed fleet, bad archives rejected =="
 # A larger fleet so the training pass sees both classes (swaps are rare).

@@ -21,11 +21,13 @@ use ssd_field_study_core::predict::{
 use ssd_field_study_core::report::render_series;
 use ssd_field_study_core::{aging, characterize, errors_analysis, lifecycle};
 use ssd_field_study_core::{PredictConfig, Series};
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_field_study::cli::{self, ArgStream, BinError, UsageError};
+use ssd_sim::{FleetGen, SimConfig};
 use ssd_types::source::TraceSource;
 use ssd_types::FleetTrace;
 
-type BinError = Box<dyn std::error::Error>;
+const USAGE: &str = "repro [--scale test|default|paper] [--seed N] [--json DIR] \
+                     [--trace PATH [--horizon DAYS]] [IDS...]";
 
 struct Args {
     scale: String,
@@ -36,7 +38,7 @@ struct Args {
     ids: Vec<String>,
 }
 
-fn parse_args() -> Result<Args, BinError> {
+fn parse_args() -> Result<Args, UsageError> {
     let mut args = Args {
         scale: "default".into(),
         seed: 7,
@@ -45,33 +47,16 @@ fn parse_args() -> Result<Args, BinError> {
         horizon: None,
         ids: Vec::new(),
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
+    let mut it = ArgStream::from_env(USAGE);
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--scale" => args.scale = it.next().ok_or("--scale needs a value")?,
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--json" => args.json_dir = Some(it.next().ok_or("--json needs a dir")?),
-            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
-            "--horizon" => {
-                args.horizon = Some(
-                    it.next()
-                        .ok_or("--horizon needs days")?
-                        .parse()
-                        .map_err(|e| format!("--horizon: {e}"))?,
-                )
-            }
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--scale test|default|paper] [--seed N] [--json DIR] [--trace PATH [--horizon DAYS]] [IDS...]"
-                );
-                std::process::exit(0);
-            }
+            "--scale" => args.scale = it.value("--scale")?,
+            "--seed" => args.seed = it.parsed("--seed")?,
+            "--json" => args.json_dir = Some(it.value("--json")?),
+            "--trace" => args.trace = Some(it.value("--trace")?),
+            "--horizon" => args.horizon = Some(it.parsed("--horizon")?),
+            // Bare tokens are experiment ids; unknown flags still error.
+            flag if flag.starts_with('-') => return Err(it.unknown(flag)),
             id => args.ids.push(id.to_string()),
         }
     }
@@ -288,8 +273,7 @@ fn run_experiment(id: &str, trace: &FleetTrace, cfg: &PredictConfig, json: &Opti
     }
 }
 
-fn run() -> Result<(), BinError> {
-    let args = parse_args()?;
+fn run(args: &Args) -> Result<(), BinError> {
     let trace = if let Some(path) = &args.trace {
         // Real-data mode: the experiments need random access across the
         // whole fleet, so the trace loads resident.
@@ -319,7 +303,7 @@ fn run() -> Result<(), BinError> {
             sim_cfg.drives_per_model, sim_cfg.horizon_days, sim_cfg.seed
         );
         let t0 = std::time::Instant::now();
-        let trace = generate_fleet(&sim_cfg);
+        let trace = FleetGen::new(&sim_cfg).trace();
         eprintln!(
             "fleet ready: {} drives, {} drive-days, {} swaps ({:.1}s)",
             trace.n_drives(),
@@ -357,8 +341,11 @@ fn run() -> Result<(), BinError> {
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("repro: {e}");
-        std::process::exit(1);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => cli::usage_exit("repro", &e),
+    };
+    if let Err(e) = run(&args) {
+        cli::runtime_exit("repro", &*e);
     }
 }

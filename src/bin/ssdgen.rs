@@ -1,7 +1,8 @@
 //! Generates a calibrated synthetic fleet trace and archives it.
 //!
 //! ```text
-//! ssdgen --out DIR [--drives N] [--days D] [--seed S] [--format bin|json|csv]
+//! ssdgen --out DIR [--drives N] [--days D | --years Y] [--seed S]
+//!        [--format bin|json|csv] [--fast-forward] [--importance BOOST]
 //! ```
 //!
 //! Formats:
@@ -10,15 +11,23 @@
 //!   (or a `FleetTrace`) in memory;
 //! * `json` — `trace.json`, for ad-hoc tooling;
 //! * `csv`  — `reports.csv` + `swaps.csv`, for pandas/R.
+//!
+//! `--fast-forward` switches generation to the analytic span-skipping
+//! traversal — byte-identical output, a fraction of the work on
+//! event-sparse fleets. `--importance BOOST` oversamples the defective
+//! infant subpopulation by `BOOST` and records per-drive log-weights in
+//! the archive for downstream weighted estimators.
 
 #![forbid(unsafe_code)]
 
-use ssd_sim::{generate_fleet, generate_fleet_archive_to, SimConfig};
+use ssd_field_study::cli::{self, ArgStream, BinError, UsageError};
+use ssd_sim::{FleetGen, GenMode, Sampling, SimConfig};
 use ssd_types::{codec, csv};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 
-type BinError = Box<dyn std::error::Error>;
+const USAGE: &str = "ssdgen --out DIR [--drives N] [--days D | --years Y] [--seed S] \
+                     [--format bin|json|csv] [--fast-forward] [--importance BOOST]";
 
 struct Args {
     out: String,
@@ -26,37 +35,40 @@ struct Args {
     horizon_days: u32,
     seed: u64,
     format: String,
+    fast_forward: bool,
+    importance: Option<f64>,
 }
 
-fn parse_args() -> Result<Args, BinError> {
+fn parse_args() -> Result<Args, UsageError> {
     let mut args = Args {
         out: String::new(),
         drives_per_model: 2000,
-        horizon_days: 6 * 365,
+        horizon_days: 6 * cli::DAYS_PER_YEAR,
         seed: 1,
         format: "bin".into(),
+        fast_forward: false,
+        importance: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+    let mut it = ArgStream::from_env(USAGE);
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--out" => args.out = next("--out")?,
-            "--drives" => {
-                args.drives_per_model =
-                    next("--drives")?.parse().map_err(|e| format!("--drives: {e}"))?
+            "--out" => args.out = it.value("--out")?,
+            "--drives" => args.drives_per_model = it.parsed("--drives")?,
+            "--days" => args.horizon_days = it.parsed("--days")?,
+            "--years" => {
+                args.horizon_days = it.parsed::<u32>("--years")?.saturating_mul(cli::DAYS_PER_YEAR)
             }
-            "--days" => {
-                args.horizon_days = next("--days")?.parse().map_err(|e| format!("--days: {e}"))?
+            "--seed" => args.seed = it.parsed("--seed")?,
+            "--format" => args.format = it.value("--format")?,
+            "--fast-forward" => args.fast_forward = true,
+            "--importance" => {
+                let boost: f64 = it.parsed("--importance")?;
+                if !(boost >= 1.0 && boost.is_finite()) {
+                    return Err("--importance must be a finite boost >= 1.0".into());
+                }
+                args.importance = Some(boost);
             }
-            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--format" => args.format = next("--format")?,
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: ssdgen --out DIR [--drives N] [--days D] [--seed S] [--format bin|json|csv]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument {other}").into()),
+            other => return Err(it.unknown(other)),
         }
     }
     if args.out.is_empty() {
@@ -65,12 +77,25 @@ fn parse_args() -> Result<Args, BinError> {
     Ok(args)
 }
 
-fn run() -> Result<(), BinError> {
-    let args = parse_args()?;
+fn fleet_gen<'a>(args: &Args, cfg: &'a SimConfig) -> FleetGen<'a> {
+    let mode = if args.fast_forward {
+        GenMode::FastForward
+    } else {
+        GenMode::DayByDay
+    };
+    let sampling = match args.importance {
+        Some(boost) => Sampling::Importance { boost },
+        None => Sampling::Uniform,
+    };
+    FleetGen::new(cfg).mode(mode).sampling(sampling)
+}
+
+fn run(args: &Args) -> Result<(), BinError> {
     let cfg = SimConfig {
         drives_per_model: args.drives_per_model,
         horizon_days: args.horizon_days,
         seed: args.seed,
+        ..SimConfig::default()
     };
     eprintln!(
         "generating {} drives over {} days (seed {})...",
@@ -78,6 +103,7 @@ fn run() -> Result<(), BinError> {
         cfg.horizon_days,
         cfg.seed
     );
+    let gen = fleet_gen(args, &cfg);
     std::fs::create_dir_all(&args.out).map_err(|e| format!("create {}: {e}", args.out))?;
     match args.format.as_str() {
         "bin" => {
@@ -88,7 +114,7 @@ fn run() -> Result<(), BinError> {
             let path = format!("{}/trace.ssdfs", args.out);
             let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
             let mut w = BufWriter::new(file);
-            let stats = generate_fleet_archive_to(&cfg, &mut w)?;
+            let stats = gen.run(&mut w)?;
             w.flush()?;
             eprintln!(
                 "generated {} drive-days, {} swaps",
@@ -97,7 +123,7 @@ fn run() -> Result<(), BinError> {
             eprintln!("wrote {path} ({:.2} MiB)", stats.bytes as f64 / 1048576.0);
         }
         "json" => {
-            let trace = generate_fleet(&cfg);
+            let trace = gen.trace();
             trace
                 .validate()
                 .map_err(|e| format!("generated trace must validate: {e}"))?;
@@ -112,7 +138,12 @@ fn run() -> Result<(), BinError> {
             eprintln!("wrote {path} ({:.2} MiB)", body.len() as f64 / 1048576.0);
         }
         "csv" => {
-            let trace = generate_fleet(&cfg);
+            if args.importance.is_some() {
+                return Err("csv export has no weight column; use --format bin|json \
+                            with --importance"
+                    .into());
+            }
+            let trace = gen.trace();
             trace
                 .validate()
                 .map_err(|e| format!("generated trace must validate: {e}"))?;
@@ -141,8 +172,11 @@ fn run() -> Result<(), BinError> {
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("ssdgen: {e}");
-        std::process::exit(1);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => cli::usage_exit("ssdgen", &e),
+    };
+    if let Err(e) = run(&args) {
+        cli::runtime_exit("ssdgen", &*e);
     }
 }

@@ -26,13 +26,15 @@
 
 #![forbid(unsafe_code)]
 
+use ssd_field_study::cli::{self, ArgStream, BinError, UsageError};
 use ssd_field_study_core::features::{build_dataset_streaming, ExtractOptions};
 use ssd_field_study_core::OnlineFleet;
 use ssd_ml::{BatchScorer, FlatForest, FlatGbdt, ForestConfig, Gbdt, GbdtConfig, RandomForest};
 use ssd_types::source::TraceSource;
 use ssd_types::{DriveId, DriveLog, DriveModel};
 
-type BinError = Box<dyn std::error::Error>;
+const USAGE: &str = "ssdpredict --trace PATH [--horizon DAYS] [--model forest|gbdt] \
+                     [--lookahead N] [--trees T] [--seed S] [--sample-rate R] [--top K]";
 
 struct Args {
     trace: String,
@@ -45,7 +47,7 @@ struct Args {
     top: usize,
 }
 
-fn parse_args() -> Result<Args, BinError> {
+fn parse_args() -> Result<Args, UsageError> {
     let mut args = Args {
         trace: String::new(),
         horizon: None,
@@ -56,52 +58,18 @@ fn parse_args() -> Result<Args, BinError> {
         sample_rate: 1.0,
         top: 10,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+    let mut it = ArgStream::from_env(USAGE);
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--trace" => args.trace = next("--trace")?,
-            "--horizon" => {
-                args.horizon = Some(
-                    next("--horizon")?
-                        .parse()
-                        .map_err(|e| format!("--horizon: {e}"))?,
-                )
-            }
-            "--model" => args.model = next("--model")?,
-            "--lookahead" => {
-                args.lookahead = next("--lookahead")?
-                    .parse()
-                    .map_err(|e| format!("--lookahead: {e}"))?
-            }
-            "--trees" => {
-                args.trees = next("--trees")?
-                    .parse()
-                    .map_err(|e| format!("--trees: {e}"))?
-            }
-            "--seed" => {
-                args.seed = next("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--sample-rate" => {
-                args.sample_rate = next("--sample-rate")?
-                    .parse()
-                    .map_err(|e| format!("--sample-rate: {e}"))?
-            }
-            "--top" => {
-                args.top = next("--top")?
-                    .parse()
-                    .map_err(|e| format!("--top: {e}"))?
-            }
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: ssdpredict --trace PATH [--horizon DAYS] [--model forest|gbdt] \
-                     [--lookahead N] [--trees T] [--seed S] [--sample-rate R] [--top K]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument {other}").into()),
+            "--trace" => args.trace = it.value("--trace")?,
+            "--horizon" => args.horizon = Some(it.parsed("--horizon")?),
+            "--model" => args.model = it.value("--model")?,
+            "--lookahead" => args.lookahead = it.parsed("--lookahead")?,
+            "--trees" => args.trees = it.parsed("--trees")?,
+            "--seed" => args.seed = it.parsed("--seed")?,
+            "--sample-rate" => args.sample_rate = it.parsed("--sample-rate")?,
+            "--top" => args.top = it.parsed("--top")?,
+            other => return Err(it.unknown(other)),
         }
     }
     if args.trace.is_empty() {
@@ -145,8 +113,7 @@ fn train_scorer(
     }
 }
 
-fn run() -> Result<(), BinError> {
-    let args = parse_args()?;
+fn run(args: &Args) -> Result<(), BinError> {
     let source = TraceSource::from_path(&args.trace, args.horizon)?;
 
     // Pass 1: stream the trace into a labeled training set.
@@ -166,7 +133,7 @@ fn run() -> Result<(), BinError> {
         )
         .into());
     }
-    let scorer = train_scorer(&args, &data)?;
+    let scorer = train_scorer(args, &data)?;
     eprintln!(
         "trained {} ({} trees) on {} rows ({pos} positive) in one streaming pass",
         scorer.scorer_name(),
@@ -214,8 +181,11 @@ fn run() -> Result<(), BinError> {
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("ssdpredict: {e}");
-        std::process::exit(1);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => cli::usage_exit("ssdpredict", &e),
+    };
+    if let Err(e) = run(&args) {
+        cli::runtime_exit("ssdpredict", &*e);
     }
 }

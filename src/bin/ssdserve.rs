@@ -22,13 +22,16 @@
 
 #![forbid(unsafe_code)]
 
+use ssd_field_study::cli::{self, ArgStream, BinError, UsageError};
 use ssd_field_study_core::serve::{
     serve_connection, FleetService, Responder, ScorerSpec, ServeConfig,
 };
 use ssd_types::source::TraceSource;
 use std::sync::Arc;
 
-type BinError = Box<dyn std::error::Error>;
+const USAGE: &str = "ssdserve --trace PATH [--horizon DAYS] [--shards N] \
+                     [--queue-cap N] [--model forest|gbdt|none] [--trees T] [--seed S] \
+                     [--lookahead N] [--sample-rate R] [--socket PATH]";
 
 struct Args {
     trace: String,
@@ -43,7 +46,7 @@ struct Args {
     socket: Option<String>,
 }
 
-fn parse_args() -> Result<Args, BinError> {
+fn parse_args() -> Result<Args, UsageError> {
     let mut args = Args {
         trace: String::new(),
         horizon: None,
@@ -56,59 +59,20 @@ fn parse_args() -> Result<Args, BinError> {
         sample_rate: 1.0,
         socket: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut next = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+    let mut it = ArgStream::from_env(USAGE);
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--trace" => args.trace = next("--trace")?,
-            "--horizon" => {
-                args.horizon = Some(
-                    next("--horizon")?
-                        .parse()
-                        .map_err(|e| format!("--horizon: {e}"))?,
-                )
-            }
-            "--shards" => {
-                args.shards = next("--shards")?
-                    .parse()
-                    .map_err(|e| format!("--shards: {e}"))?
-            }
-            "--queue-cap" => {
-                args.queue_cap = next("--queue-cap")?
-                    .parse()
-                    .map_err(|e| format!("--queue-cap: {e}"))?
-            }
-            "--model" => args.model = next("--model")?,
-            "--trees" => {
-                args.trees = next("--trees")?
-                    .parse()
-                    .map_err(|e| format!("--trees: {e}"))?
-            }
-            "--seed" => {
-                args.seed = next("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--lookahead" => {
-                args.lookahead = next("--lookahead")?
-                    .parse()
-                    .map_err(|e| format!("--lookahead: {e}"))?
-            }
-            "--sample-rate" => {
-                args.sample_rate = next("--sample-rate")?
-                    .parse()
-                    .map_err(|e| format!("--sample-rate: {e}"))?
-            }
-            "--socket" => args.socket = Some(next("--socket")?),
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: ssdserve --trace PATH [--horizon DAYS] [--shards N] \
-                     [--queue-cap N] [--model forest|gbdt|none] [--trees T] [--seed S] \
-                     [--lookahead N] [--sample-rate R] [--socket PATH]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument {other}").into()),
+            "--trace" => args.trace = it.value("--trace")?,
+            "--horizon" => args.horizon = Some(it.parsed("--horizon")?),
+            "--shards" => args.shards = it.parsed("--shards")?,
+            "--queue-cap" => args.queue_cap = it.parsed("--queue-cap")?,
+            "--model" => args.model = it.value("--model")?,
+            "--trees" => args.trees = it.parsed("--trees")?,
+            "--seed" => args.seed = it.parsed("--seed")?,
+            "--lookahead" => args.lookahead = it.parsed("--lookahead")?,
+            "--sample-rate" => args.sample_rate = it.parsed("--sample-rate")?,
+            "--socket" => args.socket = Some(it.value("--socket")?),
+            other => return Err(it.unknown(other)),
         }
     }
     if args.trace.is_empty() {
@@ -129,13 +93,12 @@ fn scorer_spec(args: &Args) -> Result<ScorerSpec, BinError> {
     }
 }
 
-fn run() -> Result<(), BinError> {
-    let args = parse_args()?;
+fn run(args: &Args) -> Result<(), BinError> {
     let source = TraceSource::from_path(&args.trace, args.horizon)?;
     let cfg = ServeConfig {
         shards: args.shards,
         queue_cap: args.queue_cap,
-        scorer: scorer_spec(&args)?,
+        scorer: scorer_spec(args)?,
         lookahead_days: args.lookahead,
         sample_rate: args.sample_rate,
         seed: args.seed,
@@ -181,8 +144,11 @@ fn serve_socket(_path: &str, _service: Arc<FleetService>, _queue_cap: usize) -> 
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("ssdserve: {e}");
-        std::process::exit(1);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => cli::usage_exit("ssdserve", &e),
+    };
+    if let Err(e) = run(&args) {
+        cli::runtime_exit("ssdserve", &*e);
     }
 }

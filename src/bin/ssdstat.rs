@@ -18,12 +18,13 @@
 
 #![forbid(unsafe_code)]
 
+use ssd_field_study::cli::{self, ArgStream, BinError, UsageError};
 use ssd_field_study_core::observations::{audit_trace_observations, render_checks};
 use ssd_field_study_core::streaming::{StreamSummary, SummaryAccumulator};
 use ssd_types::source::TraceSource;
 use ssd_types::{DriveId, DriveLog, DriveModel};
 
-type BinError = Box<dyn std::error::Error>;
+const USAGE: &str = "ssdstat --trace PATH [--horizon DAYS] [--audit]";
 
 struct Args {
     trace: String,
@@ -31,30 +32,19 @@ struct Args {
     audit: bool,
 }
 
-fn parse_args() -> Result<Args, BinError> {
+fn parse_args() -> Result<Args, UsageError> {
     let mut args = Args {
         trace: String::new(),
         horizon: None,
         audit: false,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
+    let mut it = ArgStream::from_env(USAGE);
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--trace" => args.trace = it.next().ok_or("--trace needs a path")?,
-            "--horizon" => {
-                args.horizon = Some(
-                    it.next()
-                        .ok_or("--horizon needs days")?
-                        .parse()
-                        .map_err(|e| format!("--horizon: {e}"))?,
-                )
-            }
+            "--trace" => args.trace = it.value("--trace")?,
+            "--horizon" => args.horizon = Some(it.parsed("--horizon")?),
             "--audit" => args.audit = true,
-            "--help" | "-h" => {
-                eprintln!("usage: ssdstat --trace PATH [--horizon DAYS] [--audit]");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument {other}").into()),
+            other => return Err(it.unknown(other)),
         }
     }
     if args.trace.is_empty() {
@@ -85,10 +75,25 @@ fn print_summary(s: &StreamSummary, horizon_days: u32) {
         "repairs never observed to complete: {:.1}%",
         s.time_to_repair.censored_fraction() * 100.0
     );
+
+    // Importance-sampled archives carry per-drive log-weights: surface the
+    // reweighted (population) estimates next to the raw sample tallies.
+    if let Some(w) = &s.weighted {
+        println!();
+        println!("importance-weighted population estimates");
+        println!("  effective drives:       {:.1}", w.effective_drives);
+        println!("  weighted failed frac:   {:.4}", w.total_failed_fraction);
+        println!("  weighted swaps/drive:   {:.4}", w.swaps_per_drive);
+        for (name, failures, drives, failed_frac) in &w.per_model {
+            println!(
+                "  {name:<6} weighted failures {failures:>9.1} over {drives:>9.1} drives \
+                 (failed frac {failed_frac:.4})"
+            );
+        }
+    }
 }
 
-fn run() -> Result<(), BinError> {
-    let args = parse_args()?;
+fn run(args: &Args) -> Result<(), BinError> {
     let source = TraceSource::from_path(&args.trace, args.horizon)?;
 
     // One streaming pass: validate and fold each drive, holding exactly
@@ -119,8 +124,11 @@ fn run() -> Result<(), BinError> {
 }
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("ssdstat: {e}");
-        std::process::exit(1);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => cli::usage_exit("ssdstat", &e),
+    };
+    if let Err(e) = run(&args) {
+        cli::runtime_exit("ssdstat", &*e);
     }
 }

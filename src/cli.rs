@@ -1,0 +1,160 @@
+//! Shared command-line plumbing for the workspace binaries.
+//!
+//! The five binaries (`ssdgen`, `ssdstat`, `ssdpredict`, `ssdserve`,
+//! `repro`) parse flags through one [`ArgStream`] so the surface stays
+//! uniform: `--seed S`, `--drives N`, `--years Y` / `--days D`,
+//! `--out DIR`, `--trace PATH` are spelled and diagnosed the same way
+//! everywhere. Exit codes are consistent across the suite:
+//!
+//! * `0` — success, or `--help`/`-h` (usage printed to stderr);
+//! * `1` — runtime failure (I/O, decode, invalid trace), reported as
+//!   `{bin}: {error}` via [`runtime_exit`];
+//! * `2` — bad invocation (unknown flag, missing or unparsable value),
+//!   a typed [`UsageError`] reported via [`usage_exit`].
+
+use std::fmt;
+
+/// Boxed error type shared by all binaries' run paths.
+pub type BinError = Box<dyn std::error::Error>;
+
+/// Days per `--years` unit: the paper's trace spans six 365-day years.
+pub const DAYS_PER_YEAR: u32 = 365;
+
+/// A bad invocation: unknown flag, missing value, unparsable value, or a
+/// missing required flag. Reported as `{bin}: {message}`, exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+impl From<String> for UsageError {
+    fn from(msg: String) -> Self {
+        UsageError(msg)
+    }
+}
+
+impl From<&str> for UsageError {
+    fn from(msg: &str) -> Self {
+        UsageError(msg.to_string())
+    }
+}
+
+/// Iterator over command-line arguments with uniform flag-value handling.
+///
+/// `--help` / `-h` are intercepted in [`next_arg`](ArgStream::next_arg):
+/// the usage line prints to stderr and the process exits 0, so individual
+/// binaries never repeat that logic.
+pub struct ArgStream {
+    args: std::vec::IntoIter<String>,
+    usage: &'static str,
+}
+
+impl ArgStream {
+    /// Wraps `std::env::args()` (program name skipped) with the binary's
+    /// one-line usage string.
+    pub fn from_env(usage: &'static str) -> Self {
+        ArgStream {
+            args: std::env::args().skip(1).collect::<Vec<_>>().into_iter(),
+            usage,
+        }
+    }
+
+    /// Builds a stream over explicit arguments (tests).
+    pub fn from_args(args: Vec<String>, usage: &'static str) -> Self {
+        ArgStream {
+            args: args.into_iter(),
+            usage,
+        }
+    }
+
+    /// Returns the next raw argument. On `--help`/`-h`, prints the usage
+    /// line and exits 0.
+    pub fn next_arg(&mut self) -> Option<String> {
+        let a = self.args.next()?;
+        if a == "--help" || a == "-h" {
+            eprintln!("usage: {}", self.usage);
+            std::process::exit(0);
+        }
+        Some(a)
+    }
+
+    /// Consumes the value of `flag`, failing with a typed usage error if
+    /// the command line ends first.
+    pub fn value(&mut self, flag: &str) -> Result<String, UsageError> {
+        self.args
+            .next()
+            .ok_or_else(|| UsageError(format!("{flag} needs a value")))
+    }
+
+    /// Consumes and parses the value of `flag`; parse failures become
+    /// `"{flag}: {error}"` usage errors.
+    pub fn parsed<T>(&mut self, flag: &str) -> Result<T, UsageError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        self.value(flag)?
+            .parse()
+            .map_err(|e| UsageError(format!("{flag}: {e}")))
+    }
+
+    /// The typed error for an argument no branch claimed.
+    pub fn unknown(&self, arg: &str) -> UsageError {
+        UsageError(format!("unknown argument {arg}"))
+    }
+}
+
+/// Reports a bad invocation as `{bin}: {error}` and exits 2.
+pub fn usage_exit(bin: &str, e: &UsageError) -> ! {
+    eprintln!("{bin}: {e}");
+    std::process::exit(2);
+}
+
+/// Reports a runtime failure as `{bin}: {error}` and exits 1.
+pub fn runtime_exit(bin: &str, e: &dyn std::error::Error) -> ! {
+    eprintln!("{bin}: {e}");
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(args: &[&str]) -> ArgStream {
+        ArgStream::from_args(args.iter().map(|s| s.to_string()).collect(), "test")
+    }
+
+    #[test]
+    fn value_extraction_and_exhaustion() {
+        let mut s = stream(&["--seed", "42"]);
+        assert_eq!(s.next_arg().as_deref(), Some("--seed"));
+        assert_eq!(s.value("--seed").unwrap(), "42");
+        assert_eq!(s.next_arg(), None);
+
+        let mut s = stream(&["--seed"]);
+        s.next_arg();
+        assert_eq!(s.value("--seed").unwrap_err().0, "--seed needs a value");
+    }
+
+    #[test]
+    fn parsed_values_and_typed_parse_errors() {
+        let mut s = stream(&["--drives", "120", "--days", "x"]);
+        s.next_arg();
+        assert_eq!(s.parsed::<u32>("--drives").unwrap(), 120);
+        s.next_arg();
+        let err = s.parsed::<u32>("--days").unwrap_err();
+        assert!(err.0.starts_with("--days: "), "{err}");
+    }
+
+    #[test]
+    fn unknown_argument_message_is_stable() {
+        let s = stream(&[]);
+        assert_eq!(s.unknown("--bogus").0, "unknown argument --bogus");
+    }
+}

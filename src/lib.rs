@@ -1,6 +1,9 @@
 //! Umbrella crate re-exporting the whole `ssd-field-study` workspace.
 
 #![forbid(unsafe_code)]
+
+pub mod cli;
+
 pub use ssd_field_study_core as core;
 pub use ssd_ml as ml;
 pub use ssd_parallel as parallel;

@@ -4,18 +4,20 @@
 //! top of it; EXPERIMENTS.md records the same comparisons narratively.
 
 use ssd_field_study::core::{aging, characterize, errors_analysis, lifecycle};
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::{DriveModel, ErrorKind, FleetTrace};
 use std::sync::OnceLock;
 
 fn trace() -> &'static FleetTrace {
     static TRACE: OnceLock<FleetTrace> = OnceLock::new();
     TRACE.get_or_init(|| {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 1200,
             horizon_days: 2190,
             seed: 4242,
+            ..SimConfig::default()
         })
+        .trace()
     })
 }
 

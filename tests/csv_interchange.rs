@@ -3,7 +3,7 @@
 //! through the CSV boundary.
 
 use ssd_field_study::core::{characterize, lifecycle};
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::csv::{read_trace_csv, write_reports_csv, write_swaps_csv};
 use std::io::BufReader;
 
@@ -11,11 +11,13 @@ fn trace() -> ssd_field_study::types::FleetTrace {
     // Full six-year horizon so every drive reports at least once: the CSV
     // format cannot represent a drive with no rows at all (a documented
     // limitation — short-horizon traces drop never-deployed drives).
-    let t = generate_fleet(&SimConfig {
+    let t = FleetGen::new(&SimConfig {
         drives_per_model: 60,
         horizon_days: 2190,
         seed: 12,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     assert!(
         t.drives.iter().all(|d| !d.reports.is_empty() || !d.swaps.is_empty()),
         "fixture must contain no empty drive logs"

@@ -4,10 +4,7 @@
 
 use ssd_field_study::core::{build_dataset, ExtractOptions};
 use ssd_field_study::ml::{cross_validate, CvOptions, ForestConfig, Trainer};
-use ssd_field_study::sim::{
-    generate_fleet, generate_fleet_archive, generate_fleet_archive_to, generate_fleet_sequential,
-    SimConfig,
-};
+use ssd_field_study::sim::{FleetGen, GenMode, SimConfig};
 use ssd_field_study::types::codec::encode_trace;
 
 fn cfg() -> SimConfig {
@@ -15,13 +12,15 @@ fn cfg() -> SimConfig {
         drives_per_model: 100,
         horizon_days: 1000,
         seed: 31415,
+        ..SimConfig::default()
     }
 }
 
 #[test]
 fn fleet_generation_is_thread_count_independent() {
-    let parallel = generate_fleet(&cfg());
-    let sequential = generate_fleet_sequential(&cfg());
+    let cfg = cfg();
+    let parallel = FleetGen::new(&cfg).trace();
+    let sequential = FleetGen::new(&cfg).trace_sequential();
     assert_eq!(parallel, sequential);
     // Byte-identical archives, not just structural equality.
     assert_eq!(encode_trace(&parallel), encode_trace(&sequential));
@@ -29,7 +28,8 @@ fn fleet_generation_is_thread_count_independent() {
 
 #[test]
 fn fleet_generation_is_repeatable_within_and_across_thread_pools() {
-    let a = generate_fleet(&cfg());
+    let cfg = cfg();
+    let a = FleetGen::new(&cfg).trace();
     let a_bytes = encode_trace(&a);
     // Runs on differently-sized pools must agree byte-for-byte.
     for n_threads in [1, 2, 5] {
@@ -37,7 +37,7 @@ fn fleet_generation_is_repeatable_within_and_across_thread_pools() {
             .num_threads(n_threads)
             .build()
             .unwrap();
-        let b = pool.install(|| generate_fleet(&cfg()));
+        let b = pool.install(|| FleetGen::new(&cfg).trace());
         assert_eq!(a, b, "pool size {n_threads} changed the fleet");
         assert_eq!(a_bytes, encode_trace(&b));
     }
@@ -52,10 +52,11 @@ fn arena_archive_is_byte_identical_to_baseline_at_every_pool_size() {
         drives_per_model: 50,
         horizon_days: 1000,
         seed: 271828,
+        ..SimConfig::default()
     };
-    let baseline = encode_trace(&generate_fleet_sequential(&cfg));
+    let baseline = encode_trace(&FleetGen::new(&cfg).trace_sequential());
     assert_eq!(
-        generate_fleet_archive(&cfg),
+        FleetGen::new(&cfg).run_vec(),
         baseline,
         "arena path diverged from baseline"
     );
@@ -64,7 +65,7 @@ fn arena_archive_is_byte_identical_to_baseline_at_every_pool_size() {
             .num_threads(n_threads)
             .build()
             .unwrap();
-        let archived = pool.install(|| generate_fleet_archive(&cfg));
+        let archived = pool.install(|| FleetGen::new(&cfg).run_vec());
         assert_eq!(
             archived, baseline,
             "pool size {n_threads} changed the arena archive"
@@ -81,8 +82,9 @@ fn streamed_archive_is_byte_identical_to_in_memory_at_every_pool_size() {
         drives_per_model: 50,
         horizon_days: 1000,
         seed: 271828,
+        ..SimConfig::default()
     };
-    let baseline = generate_fleet_archive(&cfg);
+    let baseline = FleetGen::new(&cfg).run_vec();
     for n_threads in [1, 2, 5] {
         let pool = ssd_field_study::parallel::ThreadPoolBuilder::new()
             .num_threads(n_threads)
@@ -90,7 +92,7 @@ fn streamed_archive_is_byte_identical_to_in_memory_at_every_pool_size() {
             .unwrap();
         let mut streamed = Vec::new();
         let stats = pool
-            .install(|| generate_fleet_archive_to(&cfg, &mut streamed))
+            .install(|| FleetGen::new(&cfg).run(&mut streamed))
             .unwrap();
         assert_eq!(
             streamed, baseline,
@@ -102,8 +104,35 @@ fn streamed_archive_is_byte_identical_to_in_memory_at_every_pool_size() {
 }
 
 #[test]
+fn fast_forward_archive_is_byte_identical_at_every_pool_size() {
+    // Fast-forward is a traversal optimization, not a different model:
+    // its archive must match the day-by-day bytes exactly, at every pool
+    // size (the tentpole contract of the fast-forward mode).
+    let cfg = SimConfig {
+        drives_per_model: 50,
+        horizon_days: 1000,
+        seed: 271828,
+        ..SimConfig::default()
+    };
+    let baseline = FleetGen::new(&cfg).run_vec();
+    let ff = FleetGen::new(&cfg).mode(GenMode::FastForward);
+    assert_eq!(ff.run_vec(), baseline, "fast-forward diverged from day-by-day");
+    for n_threads in [1, 2, 5] {
+        let pool = ssd_field_study::parallel::ThreadPoolBuilder::new()
+            .num_threads(n_threads)
+            .build()
+            .unwrap();
+        let archived = pool.install(|| ff.run_vec());
+        assert_eq!(
+            archived, baseline,
+            "pool size {n_threads} changed the fast-forward archive"
+        );
+    }
+}
+
+#[test]
 fn datasets_and_models_are_reproducible() {
-    let trace = generate_fleet(&cfg());
+    let trace = FleetGen::new(&cfg()).trace();
     let opts = ExtractOptions {
         lookahead_days: 2,
         negative_sample_rate: 0.2,
@@ -124,7 +153,7 @@ fn datasets_and_models_are_reproducible() {
 
 #[test]
 fn cross_validation_is_reproducible() {
-    let trace = generate_fleet(&cfg());
+    let trace = FleetGen::new(&cfg()).trace();
     let data = build_dataset(
         &trace,
         &ExtractOptions {
@@ -153,5 +182,5 @@ fn seeds_actually_matter() {
     let mut c2 = cfg();
     c1.seed = 1;
     c2.seed = 2;
-    assert_ne!(generate_fleet(&c1), generate_fleet(&c2));
+    assert_ne!(FleetGen::new(&c1).trace(), FleetGen::new(&c2).trace());
 }

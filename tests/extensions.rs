@@ -9,18 +9,20 @@ use ssd_field_study::ml::{
     cross_validate, expected_calibration_error, grouped_kfold, roc_auc, CvOptions,
     ForestConfig, GbdtConfig, PlattScaler, Trainer,
 };
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::FleetTrace;
 use std::sync::OnceLock;
 
 fn trace() -> &'static FleetTrace {
     static T: OnceLock<FleetTrace> = OnceLock::new();
     T.get_or_init(|| {
-        generate_fleet(&SimConfig {
+        FleetGen::new(&SimConfig {
             drives_per_model: 300,
             horizon_days: 2190,
             seed: 31337,
+            ..SimConfig::default()
         })
+        .trace()
     })
 }
 
@@ -105,11 +107,13 @@ fn calibration_improves_forest_probabilities() {
 #[test]
 fn drift_is_silent_between_like_fleets_and_loud_after_a_shift() {
     let reference = trace();
-    let like = generate_fleet(&SimConfig {
+    let like = FleetGen::new(&SimConfig {
         drives_per_model: 300,
         horizon_days: 2190,
         seed: 999,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     let quiet = drift_report(reference, &like);
     assert!(!quiet.any_drift(1e-5), "like fleets must not alarm");
 

@@ -20,8 +20,8 @@
 use ssd_field_study_core::{
     build_dataset, build_dataset_streaming, ExtractOptions, OnlineFleet,
 };
-use ssd_ml::{BatchScorer, FlatForest, ForestConfig, RandomForest};
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_ml::{FlatForest, ForestConfig, RandomForest};
+use ssd_sim::{FleetGen, SimConfig};
 use ssd_testkit::{for_each_case, Gen};
 use ssd_types::codec::encode_trace;
 use ssd_types::source::TraceSource;
@@ -36,11 +36,13 @@ use std::path::PathBuf;
 /// swaps, which would silently pin an all-zero degenerate golden; the
 /// extraction tests guard `class_counts` for exactly that reason.)
 fn small_fleet() -> FleetTrace {
-    generate_fleet(&SimConfig {
+    FleetGen::new(&SimConfig {
         drives_per_model: 40,
         horizon_days: 800,
         seed: 11,
+        ..SimConfig::default()
     })
+    .trace()
 }
 
 fn extract_opts() -> ExtractOptions {
@@ -207,14 +209,14 @@ fn predict_fleet_day_goldens_are_pinned() {
 }
 
 const FLEET_DAY_GOLDEN: [u64; 8] = [
-    0x3FEB333333333333,
-    0x3FE999999999999A,
-    0x3FDB333333333333,
-    0x3FC1111113333333,
-    0x3FA111111999999A,
-    0x3F947AE14CCCCCCD,
-    0x3F7A8C5366666666,
-    0x0000000000000000,
+    0x3FF0000000000000,
+    0x3FF0000000000000,
+    0x3FEF5C28F6666666,
+    0x3FDB851EB999999A,
+    0x3FB9AE042599999A,
+    0x3FB999999999999A,
+    0x3FA999999999999A,
+    0x3F50B7E6E6666666,
 ];
 
 #[test]
@@ -224,11 +226,13 @@ fn mutated_archives_error_cleanly_through_streaming_extraction() {
     // padding/unreached bytes) or a typed TraceReadError — never a panic,
     // never an abort. The cases are deterministic, so any failure
     // reproduces.
-    let trace = generate_fleet(&SimConfig {
+    let trace = FleetGen::new(&SimConfig {
         drives_per_model: 4,
         horizon_days: 90,
         seed: 5,
-    });
+        ..SimConfig::default()
+    })
+    .trace();
     let archive = encode_trace(&trace);
     let path = scratch_file("fuzz");
 

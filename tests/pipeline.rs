@@ -5,15 +5,17 @@ use ssd_field_study::core::{build_dataset, AgeFilter, ExtractOptions, LabelKind}
 use ssd_field_study::ml::{
     cross_validate, CvOptions, ForestConfig, LogisticRegressionConfig,
 };
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::ErrorKind;
 
 fn trace() -> ssd_field_study::types::FleetTrace {
-    generate_fleet(&SimConfig {
+    FleetGen::new(&SimConfig {
         drives_per_model: 400,
         horizon_days: 2190,
         seed: 555,
+        ..SimConfig::default()
     })
+    .trace()
 }
 
 #[test]

@@ -1,16 +1,18 @@
 //! Archive round trips at fleet scale, and cross-codec agreement.
 
-use ssd_field_study::sim::{generate_fleet, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::codec::{
     decode_trace, encode_trace, trace_from_json, trace_to_json,
 };
 
 fn trace() -> ssd_field_study::types::FleetTrace {
-    generate_fleet(&SimConfig {
+    FleetGen::new(&SimConfig {
         drives_per_model: 80,
         horizon_days: 1200,
         seed: 99,
+        ..SimConfig::default()
     })
+    .trace()
 }
 
 #[test]

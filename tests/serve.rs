@@ -26,7 +26,7 @@ use ssd_field_study_core::serve::{
 use ssd_field_study_core::streaming::SummaryAccumulator;
 use ssd_field_study_core::{failure_records, lifecycle, OnlineFleet};
 use ssd_ml::{FlatForest, ForestConfig, RandomForest};
-use ssd_sim::{generate_fleet, SimConfig};
+use ssd_sim::{FleetGen, SimConfig};
 use ssd_stats::{BinnedRate, SplitMix64};
 use ssd_types::json::{self, Value};
 use ssd_types::source::TraceSource;
@@ -36,11 +36,13 @@ use std::sync::Arc;
 /// Shared fleet: 3 models × 50 drives over 1200 days — enough swaps for
 /// a non-degenerate scorer and non-trivial survival/hazard shapes.
 fn fleet() -> FleetTrace {
-    generate_fleet(&SimConfig {
+    FleetGen::new(&SimConfig {
         drives_per_model: 50,
         horizon_days: 1200,
         seed: 11,
+        ..SimConfig::default()
     })
+    .trace()
 }
 
 fn config(shards: usize) -> ServeConfig {

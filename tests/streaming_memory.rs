@@ -7,7 +7,7 @@
 //! test so no concurrent test pollutes the peak counter.
 
 use ssd_field_study::core::streaming::SummaryAccumulator;
-use ssd_field_study::sim::{generate_fleet_archive, SimConfig};
+use ssd_field_study::sim::{FleetGen, SimConfig};
 use ssd_field_study::types::codec::{decode_trace, TraceDecoder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -67,8 +67,9 @@ fn streaming_summary_allocates_a_fraction_of_resident_decode() {
         drives_per_model: 200,
         horizon_days: 800,
         seed: 4242,
+        ..SimConfig::default()
     };
-    let bytes = generate_fleet_archive(&cfg);
+    let bytes = FleetGen::new(&cfg).run_vec();
 
     // Resident path: materialize every drive.
     let baseline = reset_peak();
