@@ -47,7 +47,7 @@ pub mod lifecycle;
 pub mod observations;
 pub mod policy;
 pub mod predict;
-pub mod reentry;
+mod reentry;
 pub mod report;
 pub mod serve;
 pub mod streaming;

@@ -214,28 +214,6 @@ pub fn time_to_failure_km(trace: &FleetTrace) -> KaplanMeier {
     KaplanMeier::fit(&durations)
 }
 
-/// Kaplan–Meier estimate of the repair-duration distribution (Figure 5's
-/// censoring done properly: drives still in repair at the horizon are
-/// censored at their elapsed repair time).
-pub fn time_to_repair_km(trace: &FleetTrace) -> KaplanMeier {
-    let mut durations = Vec::new();
-    for d in &trace.drives {
-        for s in &d.swaps {
-            match s.repair_days() {
-                Some(r) => durations.push(Duration {
-                    time: f64::from(r),
-                    event: true,
-                }),
-                None => durations.push(Duration {
-                    time: f64::from(trace.horizon_days.saturating_sub(s.swap_day)),
-                    event: false,
-                }),
-            }
-        }
-    }
-    KaplanMeier::fit(&durations)
-}
-
 /// Table 5: percentage of swapped drives that re-enter within n days, per
 /// model (with, in parentheses in the paper, the same as a fraction of all
 /// drives).
@@ -456,18 +434,6 @@ mod tests {
             );
         }
         assert!(km.n_censored() > km.n_events(), "mostly censored data");
-    }
-
-    #[test]
-    fn km_repair_estimate_is_consistent() {
-        let t = trace();
-        let km = time_to_repair_km(&t);
-        assert!(km.n_events() > 10);
-        // The 10-day completion probability should be small (Table 5) and
-        // at least the raw conditional estimate.
-        assert!(km.cdf(10.0) < 0.25, "{}", km.cdf(10.0));
-        // Monotone in time.
-        assert!(km.cdf(365.0) >= km.cdf(10.0));
     }
 
     #[test]

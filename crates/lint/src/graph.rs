@@ -1,0 +1,461 @@
+//! Workspace symbol graph: links `pub` item definitions to their use
+//! sites across every crate, bin, test, bench, and example in the
+//! workspace.
+//!
+//! The graph is *syntactic* and name-based: a definition is a parsed
+//! item (see [`crate::parser`]) with `pub` visibility in library source;
+//! a reference is any occurrence of the same identifier in any *other*
+//! file — code tokens and doc-comment text alike (so doctests and
+//! intra-doc links keep an item alive). Name-based matching errs in
+//! exactly the safe direction: a name collision produces phantom
+//! references (an item is kept), never phantom deadness. An item the
+//! graph still calls dead has a globally unique name that nothing else
+//! in the tree mentions — the strongest "delete me" signal a syntactic
+//! tool can give.
+//!
+//! The [`dead_pub`] rule consumes the graph: every fully-`pub` item
+//! (not `pub(crate)`/`pub(super)`, which rustc's own `unused` lints
+//! already police) defined in library source must be reachable from a
+//! reference in another file — directly by name, or transitively via
+//! the liveness closure (an externally-used `pub fn` keeps the types
+//! its signature and body mention alive, and so on; see [`dead_pub`]).
+//! Bins, tests, benches, examples, and doc text all count as legitimate
+//! use sites; `impl Trait for` associated items and `#[cfg(test)]`
+//! items are exempt.
+
+use crate::parser::{for_each_item, Item, ItemKind, Visibility};
+use crate::rules::{Finding, RuleId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file's contribution to the graph.
+#[derive(Debug)]
+pub struct FileSymbols {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// Parsed item tree (empty for files outside definition scope).
+    pub items: Vec<Item>,
+    /// Every identifier the file mentions — code tokens plus words in
+    /// doc-comment text — with the 1-based lines it appears on.
+    pub ident_lines: BTreeMap<String, Vec<u32>>,
+    /// Lines on which a doc comment ends (from [`crate::lexer::Lexed`]);
+    /// used to extend item spans over the docs that belong to them.
+    pub doc_lines: Vec<u32>,
+    /// Whether this file's `pub` items are part of the checked library
+    /// surface (library `src/` of a scoped crate or the root crate).
+    pub defines_surface: bool,
+}
+
+/// A `pub` definition the graph tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefSite {
+    /// Index into the file list.
+    pub file: usize,
+    /// Defining identifier.
+    pub name: String,
+    /// Item class.
+    pub kind: ItemKind,
+    /// 1-based line of the visibility keyword.
+    pub line: u32,
+    /// Inclusive line span of the whole item, attributes included.
+    pub span: (u32, u32),
+}
+
+/// An `impl` block acting as a liveness host: its body mentions count
+/// as uses once the impl is attached to a live definition (its header
+/// names one), so `type Iter = ParRange;` inside a live trait impl
+/// keeps `ParRange` alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplHost {
+    /// Index into the file list.
+    pub file: usize,
+    /// Inclusive line span of the whole block.
+    pub span: (u32, u32),
+    /// Identifiers in the impl header (trait path, self type, bounds).
+    pub header_idents: Vec<String>,
+}
+
+/// The assembled cross-file graph.
+#[derive(Debug)]
+pub struct SymbolGraph {
+    /// Tracked `pub` definitions, in (file, line) order.
+    pub defs: Vec<DefSite>,
+    /// `impl` blocks in surface files, usable as liveness hosts.
+    pub impls: Vec<ImplHost>,
+    /// Line spans of non-`pub`, non-test items in surface files. These
+    /// are *always-live* hosts: rustc's own `dead_code`/`unused_imports`
+    /// lints already prove private code is used, so a name mentioned by
+    /// a private fn, const, or `use` declaration is a real use.
+    pub internal: Vec<(usize, (u32, u32))>,
+    /// name → set of file indices whose token stream or doc text
+    /// mentions it.
+    pub refs: BTreeMap<String, BTreeSet<usize>>,
+}
+
+/// Item kinds whose `pub` definitions participate in dead-pub analysis.
+/// `Use` re-exports, `Impl` blocks, and foreign/`extern` items have no
+/// independent surface of their own.
+fn kind_is_def(kind: ItemKind) -> bool {
+    matches!(
+        kind,
+        ItemKind::Fn
+            | ItemKind::Struct
+            | ItemKind::Enum
+            | ItemKind::Trait
+            | ItemKind::TypeAlias
+            | ItemKind::Const
+            | ItemKind::Static
+            | ItemKind::Mod
+            | ItemKind::MacroDef
+    )
+}
+
+/// Builds the symbol graph over every file's parsed items and identifier
+/// sets.
+pub fn build(files: &[FileSymbols]) -> SymbolGraph {
+    let mut defs = Vec::new();
+    let mut impls = Vec::new();
+    let mut internal = Vec::new();
+    let mut refs: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (idx, file) in files.iter().enumerate() {
+        for ident in file.ident_lines.keys() {
+            refs.entry(ident.clone()).or_default().insert(idx);
+        }
+        if !file.defines_surface {
+            continue;
+        }
+        // An item's doc comment belongs to the item: extend its span
+        // upward over the contiguous doc lines directly above it, so a
+        // live item's doc mentioning a name counts as a use.
+        let docs: BTreeSet<u32> = file.doc_lines.iter().copied().collect();
+        let with_docs = |item: &Item| {
+            let mut start = item.attr_line.min(item.kw_line);
+            while start > 1 && docs.contains(&(start - 1)) {
+                start -= 1;
+            }
+            (start, item.end_line)
+        };
+        for_each_item(&file.items, &mut |item, parent| {
+            if item.is_test || parent.is_some_and(|p| p.is_test) {
+                return;
+            }
+            if item.kind == ItemKind::Impl {
+                impls.push(ImplHost {
+                    file: idx,
+                    span: with_docs(item),
+                    header_idents: item.header_idents.clone(),
+                });
+                return;
+            }
+            if item.vis != Visibility::Public {
+                internal.push((idx, with_docs(item)));
+                return;
+            }
+            let Some(name) = &item.name else { return };
+            if !kind_is_def(item.kind) {
+                return;
+            }
+            // Items inside trait declarations or trait impls belong to
+            // the trait's contract; items inside test modules are not
+            // surface either.
+            if let Some(p) = parent {
+                if p.kind == ItemKind::Trait || p.is_trait_impl {
+                    return;
+                }
+            }
+            defs.push(DefSite {
+                file: idx,
+                name: name.clone(),
+                kind: item.kind,
+                line: item.kw_line,
+                span: with_docs(item),
+            });
+        });
+    }
+    SymbolGraph {
+        defs,
+        impls,
+        internal,
+        refs,
+    }
+}
+
+/// dead-pub: reports every tracked `pub` definition that the liveness
+/// closure cannot reach. Each finding is paired with the defining file's
+/// index so the engine can attribute it.
+///
+/// Liveness is a fixpoint, not a single lookup, because a use site often
+/// never spells a type's name: `let r = failure_age(&fleet)` keeps
+/// `failure_age` alive by name while its return struct stays invisible.
+/// So:
+///
+/// 1. **Seed**: a definition mentioned by any *other* file is alive;
+///    non-`pub` items are always-live hosts (rustc's `dead_code` and
+///    `unused_imports` lints already prove private code is used).
+/// 2. **Attach impls**: an `impl` block is live when its header names a
+///    live definition (its self type, or the trait it implements).
+/// 3. **Propagate**: a definition is alive if a live definition, live
+///    impl block, or private item in the same file mentions its name
+///    inside that host's line span (signature, body, or doc text) — and
+///    outside the candidate's own span, so a definition never keeps
+///    itself alive.
+///
+/// Steps 2–3 repeat until stable, carrying liveness from externally-used
+/// `pub fn`s to the types they return, from live traits to the
+/// associated types their impls name, and onward.
+pub fn dead_pub(graph: &SymbolGraph, files: &[FileSymbols]) -> Vec<(usize, Finding)> {
+    let n = graph.defs.len();
+    let mut alive = vec![false; n];
+    for (i, def) in graph.defs.iter().enumerate() {
+        alive[i] = graph
+            .refs
+            .get(&def.name)
+            .is_some_and(|fs| fs.iter().any(|&f| f != def.file));
+    }
+
+    let mut impl_live = vec![false; graph.impls.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let live_names: BTreeSet<&str> = graph
+            .defs
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|(d, _)| d.name.as_str())
+            .collect();
+        for (k, host) in graph.impls.iter().enumerate() {
+            if !impl_live[k]
+                && host
+                    .header_idents
+                    .iter()
+                    .any(|h| live_names.contains(h.as_str()))
+            {
+                impl_live[k] = true;
+                changed = true;
+            }
+        }
+        for i in 0..n {
+            if alive[i] {
+                continue;
+            }
+            let cand = &graph.defs[i];
+            let Some(lines) = files[cand.file].ident_lines.get(&cand.name) else {
+                continue;
+            };
+            let in_live_host = |l: u32| {
+                graph.defs.iter().enumerate().any(|(j, host)| {
+                    alive[j] && host.file == cand.file && host.span.0 <= l && l <= host.span.1
+                }) || graph.impls.iter().enumerate().any(|(k, host)| {
+                    impl_live[k]
+                        && host.file == cand.file
+                        && host.span.0 <= l
+                        && l <= host.span.1
+                }) || graph.internal.iter().any(|&(f, span)| {
+                    f == cand.file && span.0 <= l && l <= span.1
+                })
+            };
+            let reachable = lines.iter().any(|&l| {
+                // A definition never keeps itself alive.
+                !(cand.span.0 <= l && l <= cand.span.1) && in_live_host(l)
+            });
+            if reachable {
+                alive[i] = true;
+                changed = true;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, def) in graph.defs.iter().enumerate() {
+        if alive[i] {
+            continue;
+        }
+        out.push((
+            def.file,
+            Finding {
+                line: def.line,
+                rule: RuleId::DeadPub,
+                message: format!(
+                    "pub {} `{}` is unreachable: no other file mentions it (bins, \
+                     tests, benches, examples, and doc text all count) and no live \
+                     item in this file uses it; delete it, make it private, or \
+                     justify with `// lint:allow(dead-pub) -- <reason>`",
+                    kind_noun(def.kind),
+                    def.name
+                ),
+            },
+        ));
+    }
+    out
+}
+
+fn kind_noun(kind: ItemKind) -> &'static str {
+    match kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Trait => "trait",
+        ItemKind::TypeAlias => "type alias",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::Mod => "mod",
+        ItemKind::MacroDef => "macro",
+        ItemKind::Use => "use",
+        ItemKind::Impl => "impl",
+        ItemKind::ExternCrate => "extern crate",
+    }
+}
+
+/// Extracts identifier-shaped words from `///` and `//!` doc-comment
+/// lines (with their 1-based line numbers), so doctest code and
+/// intra-doc links count as references.
+pub fn doc_idents(src: &str, out: &mut BTreeMap<String, Vec<u32>>) {
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let trimmed = line.trim_start();
+        let body = if let Some(rest) = trimmed.strip_prefix("///") {
+            rest
+        } else if let Some(rest) = trimmed.strip_prefix("//!") {
+            rest
+        } else {
+            continue;
+        };
+        let mut cur = String::new();
+        let flush = |word: &mut String, out: &mut BTreeMap<String, Vec<u32>>| {
+            if !word.is_empty() {
+                if !word.starts_with(|c: char| c.is_ascii_digit()) {
+                    out.entry(std::mem::take(word)).or_default().push(lineno);
+                } else {
+                    word.clear();
+                }
+            }
+        };
+        for ch in body.chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                cur.push(ch);
+            } else {
+                flush(&mut cur, out);
+            }
+        }
+        flush(&mut cur, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn file(path: &str, src: &str, defines: bool) -> FileSymbols {
+        let lexed = lex(src);
+        let mut ident_lines: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for t in lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == crate::lexer::TokenKind::Ident)
+        {
+            ident_lines.entry(t.text.to_string()).or_default().push(t.line);
+        }
+        doc_idents(src, &mut ident_lines);
+        FileSymbols {
+            rel_path: path.to_string(),
+            items: parse_items(&lexed.tokens),
+            ident_lines,
+            doc_lines: lexed.doc_lines,
+            defines_surface: defines,
+        }
+    }
+
+    #[test]
+    fn unreferenced_pub_fn_is_dead() {
+        let files = vec![
+            file("crates/a/src/lib.rs", "pub fn orphaned_helper() {}", true),
+            file("crates/b/src/lib.rs", "pub fn unrelated() {}", true),
+            file("tests/t.rs", "fn t() { unrelated(); }", false),
+        ];
+        let graph = build(&files);
+        let dead = dead_pub(&graph, &files);
+        assert_eq!(dead.len(), 1, "{dead:?}");
+        assert!(dead[0].1.message.contains("orphaned_helper"));
+        assert_eq!(dead[0].0, 0);
+    }
+
+    #[test]
+    fn doc_text_reference_keeps_item_alive() {
+        let files = vec![
+            file("crates/a/src/lib.rs", "pub fn doc_used() {}", true),
+            file(
+                "crates/b/src/lib.rs",
+                "//! See [`doc_used`] for the entry point.\n",
+                true,
+            ),
+        ];
+        let graph = build(&files);
+        assert!(dead_pub(&graph, &files).is_empty());
+    }
+
+    #[test]
+    fn private_same_file_caller_keeps_item_alive() {
+        // rustc's dead_code lint proves `caller` is used, so its call is
+        // a real use of `self_used`.
+        let files = vec![file(
+            "crates/a/src/lib.rs",
+            "pub fn self_used() {}\nfn caller() { self_used(); }",
+            true,
+        )];
+        let graph = build(&files);
+        assert!(dead_pub(&graph, &files).is_empty());
+    }
+
+    #[test]
+    fn dead_items_do_not_keep_each_other_alive() {
+        // Two pub items that only reference each other: both dead. A
+        // recursive call inside the candidate's own span never saves it.
+        let files = vec![file(
+            "crates/a/src/lib.rs",
+            "pub fn a_calls_b() { b_calls_a(); }\n\
+             pub fn b_calls_a() { a_calls_b(); }\n\
+             pub fn lonely_recursive() { lonely_recursive(); }",
+            true,
+        )];
+        let graph = build(&files);
+        assert_eq!(dead_pub(&graph, &files).len(), 3);
+    }
+
+    #[test]
+    fn doc_comment_of_live_item_counts_as_use() {
+        // `base_rate`'s only mention is in the doc comment of the live
+        // derived const — the doc belongs to that item, so it counts.
+        let files = vec![
+            file(
+                "crates/a/src/lib.rs",
+                "pub const base_rate: f64 = 0.5;\n\
+                 /// Permille form of [`base_rate`].\n\
+                 pub const rate_permille: u64 = 500;",
+                true,
+            ),
+            file("tests/t.rs", "fn t() { let _ = rate_permille; }", false),
+        ];
+        let graph = build(&files);
+        assert!(dead_pub(&graph, &files).is_empty(), "{:?}", dead_pub(&graph, &files));
+    }
+
+    #[test]
+    fn restricted_test_and_trait_items_are_exempt(){
+        let files = vec![file(
+            "crates/a/src/lib.rs",
+            "pub(crate) fn crate_only() {}\n\
+             #[cfg(test)]\npub fn test_only() {}\n\
+             pub trait T { fn method(&self); }\n\
+             impl T for X { fn method(&self) {} }",
+            true,
+        )];
+        let graph = build(&files);
+        let dead = dead_pub(&graph, &files);
+        // Only the trait itself is a tracked def here, and it is
+        // referenced by the impl in the same file — still same-file, so
+        // it *is* dead; methods and pub(crate)/test items are not.
+        assert!(dead.iter().all(|(_, f)| f.message.contains("`T`")), "{dead:?}");
+    }
+}

@@ -92,6 +92,12 @@ pub struct Lexed<'a> {
     pub allows: Vec<AllowDirective>,
     /// Broken allow directives (reported as diagnostics by the engine).
     pub malformed: Vec<MalformedAllow>,
+    /// Lines on which a doc comment (`///`, `//!`, `/** */`, `/*! */`)
+    /// *ends*, in ascending order. The item parser uses these to decide
+    /// whether an item is documented (a doc comment ends directly above
+    /// the item's first line), and the symbol graph scans doc text for
+    /// identifier references so doctest usage keeps an item alive.
+    pub doc_lines: Vec<u32>,
 }
 
 /// Parses the body of a comment that contains `lint:allow`, starting at
@@ -204,13 +210,19 @@ pub fn lex(src: &str) -> Lexed<'_> {
             }
             let text = &src[start..c.pos];
             let is_doc = text.starts_with("///") || text.starts_with("//!");
-            if !is_doc {
+            if is_doc {
+                out.doc_lines.push(line);
+            } else {
                 scan_comment(text, line, &mut out);
             }
             continue;
         }
         // Block comment, nested per Rust; directives are not honored here.
         if c.starts_with("/*") {
+            // `/**` and `/*!` open doc comments (`/**/` does not: it is the
+            // empty plain comment).
+            let is_doc = (c.starts_with("/**") && !c.starts_with("/**/"))
+                || c.starts_with("/*!");
             c.bump_n(2);
             let mut depth = 1usize;
             while depth > 0 && c.peek().is_some() {
@@ -223,6 +235,9 @@ pub fn lex(src: &str) -> Lexed<'_> {
                 } else {
                     c.bump();
                 }
+            }
+            if is_doc {
+                out.doc_lines.push(c.line);
             }
             continue;
         }

@@ -19,11 +19,24 @@
 //! | `hermeticity` | every `Cargo.toml` | all dependencies are `path =`/workspace-inherited |
 //! | `unsafe-gate` | crate roots | `#![forbid(unsafe_code)]` present |
 //! | `missing-crate-doc` | crate roots | crate-level `//!` docs present |
+//! | `rng-discipline` | library `src/` minus `crates/stats` | `SplitMix64` built via `for_stream`, never raw `new` |
+//! | `lossy-cast` | `crates/{sim,ml}/src` | every `as` cast provably lossless, checked, or justified |
+//! | `dead-pub` | whole workspace | every fully-`pub` item referenced outside its file |
+//! | `missing-pub-doc` | library `src/` minus bin roots | every fully-`pub` item carries `///` docs |
 //! | `allow-grammar` | everywhere | `lint:allow` comments parse and name a real rule |
 //!
 //! "Library `src/`" means `crates/{core,lint,ml,parallel,sim,stats,types}/src`
 //! outside `#[test]`/`#[cfg(test)]` items; tests, benches, examples, and
 //! the bench/testkit substrate crates may panic and hash freely.
+//!
+//! The first six rules and `missing-pub-doc` are per-file: token or item
+//! scans over one source at a time. `dead-pub` is *cross-file*: the
+//! engine parses every file's item tree (see [`parser`]), assembles a
+//! workspace-wide [`graph::SymbolGraph`] mapping each `pub` definition
+//! ([`graph::DefSite`]) to the set of files mentioning its name — code
+//! tokens and doc text alike — and reports definitions nothing else
+//! references. Bins, tests, benches, and examples are scanned as use
+//! sites, so an item kept alive only by a test is still alive.
 //!
 //! A violation that is genuinely intended carries an escape hatch on its
 //! own line or the line above:
@@ -37,11 +50,15 @@
 //! disable a gate. This crate is inside the lint's own scope: the
 //! analyzer must pass itself.
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
 
-use lexer::{lex, Token};
+use lexer::{lex, Token, TokenKind};
 pub use rules::RuleId;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -136,6 +153,30 @@ pub fn classify(rel_path: &str) -> FileRole {
         }
     }
     role
+}
+
+/// True for binary entry points: `src/main.rs` and anything under a
+/// `src/bin/` directory, at the root or inside a crate.
+pub fn is_bin_root(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    matches!(
+        parts.as_slice(),
+        ["src", "main.rs"]
+            | ["src", "bin", ..]
+            | ["crates", _, "src", "main.rs"]
+            | ["crates", _, "src", "bin", ..]
+    )
+}
+
+/// True if a file's `pub` items belong to the library surface the
+/// dead-pub rule polices: scoped-crate `src/` or the root crate's
+/// `src/`, excluding binary entry points (whose `pub` items are
+/// internal to the bin).
+fn defines_surface(rel_path: &str) -> bool {
+    if is_bin_root(rel_path) {
+        return false;
+    }
+    classify(rel_path).scoped_src || rel_path.starts_with("src/")
 }
 
 /// Finds the token index of the bracket matching `tokens[open]`.
@@ -243,6 +284,23 @@ pub fn lint_source_str(rel_path: &str, src: &str, enabled: &[RuleId]) -> Vec<Dia
         }
         if enabled.contains(&RuleId::Nondeterminism) {
             rules::check_nondeterminism(&lexed.tokens, &mut findings);
+        }
+        // `crates/stats` owns the substream derivation, so the raw
+        // constructor is legitimate there and nowhere else.
+        if enabled.contains(&RuleId::RngDiscipline) && !rel_path.starts_with("crates/stats/") {
+            rules::check_rng_discipline(&lexed.tokens, &mut findings);
+        }
+        // Cast-heavy hot paths: fleet simulation index math and ML
+        // feature extraction, where a silent truncation skews numbers.
+        if enabled.contains(&RuleId::LossyCast)
+            && (rel_path.starts_with("crates/sim/src") || rel_path.starts_with("crates/ml/src"))
+        {
+            rules::check_lossy_cast(&lexed.tokens, &mut findings);
+        }
+        // Bin roots (`main.rs`, `src/bin/*`) export nothing.
+        if enabled.contains(&RuleId::MissingPubDoc) && !is_bin_root(rel_path) {
+            let items = parser::parse_items(&lexed.tokens);
+            rules::check_missing_pub_doc(&items, &lexed.doc_lines, &mut findings);
         }
         // Test-only code may panic and hash freely.
         findings.retain(|f| !in_regions(f.line, &regions));
@@ -365,6 +423,74 @@ fn into_diagnostics(rel_path: &str, findings: Vec<rules::Finding>) -> Vec<Diagno
     out
 }
 
+/// Lints a set of files as one unit: every per-file rule over each
+/// file, then the cross-file symbol-graph rules over all of them
+/// together. `files` holds `(workspace-relative path, contents)` pairs;
+/// `Cargo.toml` entries get the manifest rules, `.rs` entries the
+/// source rules, and every `.rs` file — whatever its role — contributes
+/// identifier references to the [`graph::SymbolGraph`] consumed by
+/// dead-pub.
+pub fn lint_file_set(files: &[(String, String)], enabled: &[RuleId]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (path, text) in files {
+        if path.ends_with("Cargo.toml") {
+            diags.extend(lint_manifest_str(path, text, enabled));
+        } else if path.ends_with(".rs") {
+            diags.extend(lint_source_str(path, text, enabled));
+        }
+    }
+
+    if enabled.contains(&RuleId::DeadPub) {
+        let mut symbols = Vec::new();
+        let mut allows = Vec::new();
+        for (path, text) in files {
+            if !path.ends_with(".rs") {
+                continue;
+            }
+            let lexed = lex(text);
+            let mut ident_lines: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+            for t in lexed.tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+                ident_lines.entry(t.text.to_string()).or_default().push(t.line);
+            }
+            graph::doc_idents(text, &mut ident_lines);
+            let defines = defines_surface(path);
+            let items = if defines {
+                parser::parse_items(&lexed.tokens)
+            } else {
+                Vec::new()
+            };
+            symbols.push(graph::FileSymbols {
+                rel_path: path.clone(),
+                items,
+                ident_lines,
+                doc_lines: lexed.doc_lines,
+                defines_surface: defines,
+            });
+            allows.push(lexed.allows);
+        }
+        let symbol_graph = graph::build(&symbols);
+        for (file_idx, finding) in graph::dead_pub(&symbol_graph, &symbols) {
+            let suppressed = allows[file_idx].iter().any(|a| {
+                a.rule == RuleId::DeadPub.name()
+                    && (a.line == finding.line || a.line + 1 == finding.line)
+            });
+            if !suppressed {
+                diags.push(Diagnostic {
+                    path: symbols[file_idx].rel_path.clone(),
+                    line: finding.line,
+                    rule: finding.rule,
+                    message: finding.message,
+                });
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    diags
+}
+
 fn read(path: &Path) -> Result<String, LintError> {
     std::fs::read_to_string(path).map_err(|source| LintError::Io {
         path: path.to_path_buf(),
@@ -410,12 +536,24 @@ fn rel_display(root: &Path, path: &Path) -> String {
     parts.join("/")
 }
 
+/// Subdirectories of each crate (and the root) scanned for `.rs` files.
+/// `src/` files get the full rule set; `tests/`, `benches/`, and
+/// `examples/` files carry no per-file rules but count as use sites for
+/// the dead-pub symbol graph.
+const SCAN_DIRS: &[&str] = &["src", "tests", "benches", "examples"];
+
+/// Lint-rule fixture corpus: deliberately violating sources that must
+/// never be linted as workspace code.
+const FIXTURE_PREFIX: &str = "crates/lint/tests/fixtures/";
+
 /// Lints the whole workspace rooted at `root` with the given rules.
 ///
 /// Scans: the root `Cargo.toml` and every `crates/*/Cargo.toml`
-/// (hermeticity), plus all `.rs` files under `src/` and `crates/*/src/`
-/// (source rules, scoped per [`classify`]). Test trees, benches,
-/// examples, and fixtures are intentionally out of scope.
+/// (hermeticity), plus all `.rs` files under `src/`, `tests/`,
+/// `benches/`, and `examples/` of the root and every crate. Per-file
+/// rules apply only where [`classify`] says so; the wider net exists so
+/// the dead-pub graph sees every legitimate use site. The lint's own
+/// fixture corpus (deliberately violating sources) is excluded.
 pub fn lint_workspace(root: &Path, enabled: &[RuleId]) -> Result<Vec<Diagnostic>, LintError> {
     let root_manifest = root.join("Cargo.toml");
     if !root_manifest.is_file() || !read(&root_manifest)?.contains("[workspace]") {
@@ -423,6 +561,7 @@ pub fn lint_workspace(root: &Path, enabled: &[RuleId]) -> Result<Vec<Diagnostic>
     }
 
     let mut manifests = vec![root_manifest];
+    let mut scan_roots = vec![root.to_path_buf()];
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         let iter = std::fs::read_dir(&crates_dir).map_err(|source| LintError::Io {
@@ -442,26 +581,28 @@ pub fn lint_workspace(root: &Path, enabled: &[RuleId]) -> Result<Vec<Diagnostic>
             let m = dir.join("Cargo.toml");
             if m.is_file() {
                 manifests.push(m);
+                scan_roots.push(dir);
             }
         }
     }
 
     let mut sources = Vec::new();
-    collect_rs(&root.join("src"), &mut sources)?;
-    for manifest in manifests.iter().skip(1) {
-        if let Some(dir) = manifest.parent() {
-            collect_rs(&dir.join("src"), &mut sources)?;
+    for scan_root in &scan_roots {
+        for sub in SCAN_DIRS {
+            collect_rs(&scan_root.join(sub), &mut sources)?;
         }
     }
 
-    let mut diags = Vec::new();
+    let mut files = Vec::new();
     for manifest in &manifests {
-        let text = read(manifest)?;
-        diags.extend(lint_manifest_str(&rel_display(root, manifest), &text, enabled));
+        files.push((rel_display(root, manifest), read(manifest)?));
     }
     for source in &sources {
-        let text = read(source)?;
-        diags.extend(lint_source_str(&rel_display(root, source), &text, enabled));
+        let rel = rel_display(root, source);
+        if rel.starts_with(FIXTURE_PREFIX) {
+            continue;
+        }
+        files.push((rel, read(source)?));
     }
-    Ok(diags)
+    Ok(lint_file_set(&files, enabled))
 }

@@ -1,0 +1,131 @@
+//! Machine-readable lint output: renders a diagnostic list as a single
+//! deterministic JSON document for `ssd-lint --format json`.
+//!
+//! The writer is hand-rolled so the lint keeps its zero-dependency
+//! promise; the schema is plain JSON that round-trips through
+//! `ssd_types::json::parse` (pinned by an integration test, since the
+//! types crate may only appear here as a dev-dependency). Keys are
+//! emitted in a fixed order and diagnostics in the engine's sorted
+//! `(path, line, rule)` order, so the report is byte-stable for a given
+//! workspace state — diffable in CI artifacts like every other output
+//! of the reproduction.
+//!
+//! Schema:
+//!
+//! ```text
+//! {
+//!   "version": 1,
+//!   "rules": ["panic-freedom", ...],   // rule families that ran
+//!   "count": 2,                        // == diagnostics.len()
+//!   "diagnostics": [
+//!     { "path": "crates/sim/src/x.rs", "line": 12,
+//!       "rule": "lossy-cast", "message": "..." }
+//!   ]
+//! }
+//! ```
+
+use crate::rules::RuleId;
+use crate::Diagnostic;
+
+/// Escapes a string for a JSON string literal body, per RFC 8259:
+/// quote, backslash, and all control characters below U+0020.
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                let hex = b"0123456789abcdef";
+                out.push(hex[(b >> 4) as usize] as char);
+                out.push(hex[(b & 0xf) as usize] as char);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_value(s: &str, out: &mut String) {
+    out.push('"');
+    escape_into(s, out);
+    out.push('"');
+}
+
+/// Renders the full lint report as a JSON document (trailing newline
+/// included, so redirecting to a file yields a well-formed text file).
+pub fn to_json(diags: &[Diagnostic], rules: &[RuleId]) -> String {
+    let mut out = String::with_capacity(256 + diags.len() * 128);
+    out.push_str("{\n  \"version\": 1,\n  \"rules\": [");
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_str_value(rule.name(), &mut out);
+    }
+    out.push_str("],\n  \"count\": ");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { \"path\": ");
+        push_str_value(&d.path, &mut out);
+        out.push_str(", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"rule\": ");
+        push_str_value(d.rule.name(), &mut out);
+        out.push_str(", \"message\": ");
+        push_str_value(&d.message, &mut out);
+        out.push_str(" }");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, line: u32, rule: RuleId, message: &str) -> Diagnostic {
+        Diagnostic { path: path.to_string(), line, rule, message: message.to_string() }
+    }
+
+    #[test]
+    fn empty_report_shape() {
+        let s = to_json(&[], &RuleId::ALL);
+        assert!(s.contains("\"version\": 1"));
+        assert!(s.contains("\"count\": 0"));
+        assert!(s.contains("\"diagnostics\": []"));
+        assert!(s.contains("\"panic-freedom\""));
+        assert!(s.contains("\"dead-pub\""));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn diagnostics_are_listed_in_order() {
+        let diags = [
+            diag("a.rs", 1, RuleId::PanicFreedom, "first"),
+            diag("b.rs", 2, RuleId::LossyCast, "second"),
+        ];
+        let s = to_json(&diags, &[RuleId::PanicFreedom, RuleId::LossyCast]);
+        assert!(s.contains("\"count\": 2"));
+        let first = s.find("first").expect("first diagnostic present");
+        let second = s.find("second").expect("second diagnostic present");
+        assert!(first < second);
+    }
+
+    #[test]
+    fn messages_are_escaped() {
+        let diags = [diag("a.rs", 1, RuleId::PanicFreedom, "quote \" back \\ tab \t nl \n")];
+        let s = to_json(&diags, &[]);
+        assert!(s.contains(r#"quote \" back \\ tab \t nl \n"#));
+    }
+}

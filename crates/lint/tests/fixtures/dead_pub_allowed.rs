@@ -1,0 +1,12 @@
+//! Fixture library surface: the unreachable item carries a reasoned allow.
+
+/// Consumed by the integration test file in this fixture set.
+pub fn used_entry() -> u32 {
+    7
+}
+
+/// Kept for parity with the paper's published artifact layout.
+// lint:allow(dead-pub) -- staged API: the next growth stage's consumer lands with it
+pub fn unused_entry() -> u32 {
+    9
+}

@@ -1,0 +1,6 @@
+//! Fixture consumer: a test file that exercises part of the surface.
+
+#[test]
+fn uses_the_entry() {
+    assert_eq!(used_entry(), 7);
+}

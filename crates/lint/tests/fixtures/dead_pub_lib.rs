@@ -1,0 +1,11 @@
+//! Fixture library surface: one used item, one unreachable item.
+
+/// Consumed by the integration test file in this fixture set.
+pub fn used_entry() -> u32 {
+    7
+}
+
+/// Nothing in the fixture set mentions this.
+pub fn unused_entry() -> u32 {
+    9
+}

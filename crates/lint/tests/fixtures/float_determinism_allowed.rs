@@ -1,5 +1,6 @@
 //! Fixture: a justified zero-guard comparison is allowed.
 
+/// Fixture item `safe_div`.
 pub fn safe_div(n: f64, d: f64) -> f64 {
     // lint:allow(float-determinism) -- division-by-zero guard
     if d == 0.0 {

@@ -1,13 +1,16 @@
 //! Fixture: partial_cmp and float-literal equality must fire.
 
+/// Fixture item `sort_scores`.
 pub fn sort_scores(v: &mut [f64]) {
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }
 
+/// Fixture item `is_half`.
 pub fn is_half(x: f64) -> bool {
     x == 0.5
 }
 
+/// Fixture item `not_tenth`.
 pub fn not_tenth(x: f64) -> bool {
     x != 0.1
 }

@@ -1,9 +1,11 @@
 //! Fixture: total_cmp ordering and integer equality — must not fire.
 
+/// Fixture item `sort_scores`.
 pub fn sort_scores(v: &mut [f64]) {
     v.sort_by(|a, b| a.total_cmp(b));
 }
 
+/// Fixture item `is_three`.
 pub fn is_three(x: u64) -> bool {
     x == 3
 }

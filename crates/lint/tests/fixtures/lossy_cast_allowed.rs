@@ -1,0 +1,7 @@
+//! Fixture: an intentionally lossy cast with a reasoned allow.
+
+/// Quantizes a score into a coarse bucket.
+pub fn bucket(score: f64) -> u64 {
+    // lint:allow(lossy-cast) -- truncating the scaled score IS the bucketing
+    (score * 10.0) as u64
+}

@@ -1,0 +1,12 @@
+//! Fixture: casts whose source type is not syntactically visible.
+
+/// Truncates an opaque local into an index.
+pub fn index_of(x: u64) -> u32 {
+    let wide = x.wrapping_mul(3);
+    wide as u32
+}
+
+/// Rounds a scaled score through a float cast.
+pub fn bucket(score: f64) -> u64 {
+    (score * 10.0) as u64
+}

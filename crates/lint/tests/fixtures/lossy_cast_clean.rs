@@ -1,0 +1,16 @@
+//! Fixture: conversions with the source type spelled out.
+
+/// Widens a byte count losslessly.
+pub fn widen(x: u8) -> u32 {
+    u32::from(x)
+}
+
+/// Saturating narrow with the failure path explicit.
+pub fn narrow(x: u64) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+/// A literal cast that provably fits its destination.
+pub fn flag_mask() -> u32 {
+    0xFF as u32
+}

@@ -1,4 +1,5 @@
 // lint:allow(missing-crate-doc) -- generated shim crate; docs live in the parent
 #![forbid(unsafe_code)]
 
+/// Fixture item `noop`.
 pub fn noop() {}

@@ -2,4 +2,5 @@
 
 #![forbid(unsafe_code)]
 
+/// Fixture item `noop`.
 pub fn noop() {}

@@ -5,4 +5,5 @@
 
 #![forbid(unsafe_code)]
 
+/// Fixture item `noop`.
 pub fn noop() {}

@@ -1,0 +1,4 @@
+//! Fixture: a justified undocumented item.
+
+// lint:allow(missing-pub-doc) -- generated shim, documented at the macro definition
+pub fn generated_shim() {}

@@ -1,0 +1,8 @@
+//! Fixture: fully-pub items with no doc comments.
+
+pub fn undocumented() {}
+
+pub struct Bare {
+    /// Field docs do not excuse the item.
+    pub field: u32,
+}

@@ -1,0 +1,19 @@
+//! Fixture: every pub item documented; exempt forms undocumented.
+
+/// A documented function.
+pub fn documented() {}
+
+/// A documented carrier.
+pub struct Carrier {
+    /// Payload.
+    pub field: u32,
+}
+
+pub(crate) fn internal() {}
+
+impl Carrier {
+    /// Reads the payload.
+    pub fn get(&self) -> u32 {
+        self.field
+    }
+}

@@ -1,5 +1,6 @@
 //! Fixture: an allowed hash map (e.g. drained into sorted order).
 
+/// Fixture item `tally`.
 pub fn tally(keys: &[u32]) -> Vec<(u32, u32)> {
     // lint:allow(nondeterminism) -- drained into a sorted Vec before return
     let mut m = std::collections::HashMap::new();

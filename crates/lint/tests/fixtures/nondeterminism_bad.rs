@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 use std::time::{Instant, SystemTime};
 
+/// Fixture item `counts`.
 pub fn counts(keys: &[u32]) -> HashMap<u32, u32> {
     let mut m = HashMap::new();
     let mut seen = HashSet::new();
@@ -15,6 +16,7 @@ pub fn counts(keys: &[u32]) -> HashMap<u32, u32> {
     m
 }
 
+/// Fixture item `stamp`.
 pub fn stamp() -> (SystemTime, Instant) {
     (SystemTime::now(), Instant::now())
 }

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
+/// Fixture item `counts`.
 pub fn counts(keys: &[u32]) -> BTreeMap<u32, u32> {
     let mut m = BTreeMap::new();
     let mut seen = BTreeSet::new();
@@ -14,6 +15,7 @@ pub fn counts(keys: &[u32]) -> BTreeMap<u32, u32> {
     m
 }
 
+/// Fixture item `fixed_window`.
 pub fn fixed_window() -> Duration {
     Duration::from_secs(1)
 }

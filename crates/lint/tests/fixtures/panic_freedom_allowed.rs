@@ -1,5 +1,6 @@
 //! Fixture: a justified allow suppresses the diagnostic.
 
+/// Fixture item `checked`.
 pub fn checked(v: &[u32]) -> u32 {
     // lint:allow(panic-freedom) -- caller guarantees v is nonempty
     *v.first().unwrap()

@@ -1,5 +1,6 @@
 //! Fixture: every panicking form the rule must catch.
 
+/// Fixture item `first_plus_last`.
 pub fn first_plus_last(v: &[u32]) -> u32 {
     let x = v.first().unwrap();
     let y = v.last().expect("nonempty");
@@ -9,10 +10,12 @@ pub fn first_plus_last(v: &[u32]) -> u32 {
     x + y
 }
 
+/// Fixture item `unfinished`.
 pub fn unfinished() {
     todo!()
 }
 
+/// Fixture item `also_unfinished`.
 pub fn also_unfinished() {
     unimplemented!()
 }

@@ -1,5 +1,6 @@
 //! Fixture: the same logic written with propagation — must not fire.
 
+/// Fixture item `first_plus_last`.
 pub fn first_plus_last(v: &[u32]) -> Option<u32> {
     let x = v.first()?;
     let y = v.last()?;

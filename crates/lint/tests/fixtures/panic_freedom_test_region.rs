@@ -1,5 +1,6 @@
 //! Fixture: panics inside test regions are exempt.
 
+/// Fixture item `double`.
 pub fn double(x: u32) -> u32 {
     x * 2
 }

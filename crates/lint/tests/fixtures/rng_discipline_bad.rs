@@ -1,0 +1,8 @@
+//! Fixture: raw `SplitMix64::new` outside `crates/stats`.
+
+/// Seeds a generator straight from a config seed, bypassing the
+/// substream derivation.
+pub fn seed_rng(seed: u64) -> u64 {
+    let mut rng = SplitMix64::new(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+//! Fixture: substream-disciplined RNG construction.
+
+/// Derives an independent per-drive stream from the fleet seed.
+pub fn seed_rng(seed: u64, drive: u64) -> u64 {
+    let mut rng = SplitMix64::for_stream(seed, drive);
+    rng.next_u64()
+}

@@ -1,3 +1,4 @@
 //! Fixture: a crate root without the forbid attribute.
 
+/// Fixture item `noop`.
 pub fn noop() {}

@@ -179,3 +179,122 @@ fn out_of_scope_paths_are_ignored() {
         assert!(panic_diags.is_empty(), "{path}: {panic_diags:?}");
     }
 }
+
+/// Lints a fixture as if it were simulator source, where the
+/// cast-discipline rule is active.
+fn lint_sim(src: &str) -> Vec<Diagnostic> {
+    lint_source_str("crates/sim/src/fixture.rs", src, &RuleId::ALL)
+}
+
+#[test]
+fn rng_discipline_fixture() {
+    let bad = lint_scoped(include_str!("fixtures/rng_discipline_bad.rs"));
+    let fired: Vec<&Diagnostic> =
+        bad.iter().filter(|d| d.rule == RuleId::RngDiscipline).collect();
+    assert_eq!(fired.len(), 1, "{bad:?}");
+    assert!(fired[0].message.contains("for_stream"), "{fired:?}");
+
+    let clean = lint_scoped(include_str!("fixtures/rng_discipline_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_scoped(include_str!("fixtures/rng_discipline_allowed.rs"));
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn rng_discipline_is_legitimate_in_stats() {
+    // `crates/stats` owns the substream derivation, so the raw
+    // constructor is allowed there without any directive.
+    let diags = lint_source_str(
+        "crates/stats/src/fixture.rs",
+        include_str!("fixtures/rng_discipline_bad.rs"),
+        &RuleId::ALL,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    let bad = lint_sim(include_str!("fixtures/lossy_cast_bad.rs"));
+    let fired: Vec<&Diagnostic> =
+        bad.iter().filter(|d| d.rule == RuleId::LossyCast).collect();
+    // Opaque local truncation + float-to-int rounding.
+    assert_eq!(fired.len(), 2, "{bad:?}");
+    assert!(fired.iter().any(|d| d.message.contains("as u32")), "{fired:?}");
+    assert!(fired.iter().any(|d| d.message.contains("as u64")), "{fired:?}");
+
+    let clean = lint_sim(include_str!("fixtures/lossy_cast_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_sim(include_str!("fixtures/lossy_cast_allowed.rs"));
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn lossy_cast_is_scoped_to_sim_and_ml() {
+    // The same source in a crate outside the hot-path scope is quiet.
+    let diags = lint_scoped(include_str!("fixtures/lossy_cast_bad.rs"));
+    let fired: Vec<&Diagnostic> =
+        diags.iter().filter(|d| d.rule == RuleId::LossyCast).collect();
+    assert!(fired.is_empty(), "{fired:?}");
+}
+
+#[test]
+fn missing_pub_doc_fixture() {
+    let bad = lint_scoped(include_str!("fixtures/missing_pub_doc_bad.rs"));
+    let fired: Vec<&Diagnostic> =
+        bad.iter().filter(|d| d.rule == RuleId::MissingPubDoc).collect();
+    // The undocumented fn and the undocumented struct; the documented
+    // field does not rescue its carrier.
+    assert_eq!(fired.len(), 2, "{bad:?}");
+    assert!(fired.iter().any(|d| d.message.contains("undocumented")), "{fired:?}");
+    assert!(fired.iter().any(|d| d.message.contains("Bare")), "{fired:?}");
+
+    let clean = lint_scoped(include_str!("fixtures/missing_pub_doc_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let allowed = lint_scoped(include_str!("fixtures/missing_pub_doc_allowed.rs"));
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+/// Assembles a fixture file set rooted like real workspace paths, so the
+/// symbol graph sees a surface file plus a consumer.
+fn file_set(surface: &str, consumer: &str) -> Vec<(String, String)> {
+    vec![
+        ("crates/core/src/fixture.rs".to_string(), surface.to_string()),
+        ("tests/fixture_consumer.rs".to_string(), consumer.to_string()),
+    ]
+}
+
+#[test]
+fn dead_pub_fixture() {
+    use ssd_lint::lint_file_set;
+
+    let consumer = include_str!("fixtures/dead_pub_consumer.rs");
+    let bad = lint_file_set(
+        &file_set(include_str!("fixtures/dead_pub_lib.rs"), consumer),
+        &[RuleId::DeadPub],
+    );
+    // `used_entry` is named by the consumer; `unused_entry` is not.
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert_eq!(bad[0].rule, RuleId::DeadPub);
+    assert!(bad[0].message.contains("unused_entry"), "{bad:?}");
+
+    let allowed = lint_file_set(
+        &file_set(include_str!("fixtures/dead_pub_allowed.rs"), consumer),
+        &[RuleId::DeadPub],
+    );
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn dead_pub_without_consumer_flags_both() {
+    use ssd_lint::lint_file_set;
+
+    let files = vec![(
+        "crates/core/src/fixture.rs".to_string(),
+        include_str!("fixtures/dead_pub_lib.rs").to_string(),
+    )];
+    let diags = lint_file_set(&files, &[RuleId::DeadPub]);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}

@@ -8,6 +8,7 @@
 //! logistic regression in one dimension.
 
 use crate::classifier::{sigmoid, Classifier};
+use ssd_types::cast::f64_from_usize;
 
 /// A fitted Platt calibrator: maps raw scores to calibrated probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,10 +26,10 @@ impl PlattScaler {
     pub fn fit(scores: &[f64], labels: &[bool]) -> Self {
         assert_eq!(scores.len(), labels.len());
         assert!(!scores.is_empty(), "cannot calibrate on empty data");
-        let n = scores.len() as f64;
+        let n = f64_from_usize(scores.len());
         // Platt's target smoothing: t+ = (N+ + 1)/(N+ + 2), t− = 1/(N− + 2)
         // guards against overconfident extremes.
-        let n_pos = labels.iter().filter(|&&l| l).count() as f64;
+        let n_pos = f64_from_usize(labels.iter().filter(|&&l| l).count());
         let n_neg = n - n_pos;
         let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
         let t_neg = 1.0 / (n_neg + 2.0);
@@ -110,16 +111,17 @@ pub fn expected_calibration_error(scores: &[f64], labels: &[bool], n_bins: usize
     let mut bin_pos = vec![0.0f64; n_bins];
     let mut bin_count = vec![0usize; n_bins];
     for (&s, &l) in scores.iter().zip(labels) {
-        let b = ((s * n_bins as f64) as usize).min(n_bins - 1);
+        // lint:allow(lossy-cast) -- truncating a [0,1) score scaled by the bin count IS the binning
+        let b = ((s * f64_from_usize(n_bins)) as usize).min(n_bins - 1);
         bin_sum[b] += s;
         bin_pos[b] += f64::from(u8::from(l));
         bin_count[b] += 1;
     }
-    let n = scores.len() as f64;
+    let n = f64_from_usize(scores.len());
     (0..n_bins)
         .filter(|&b| bin_count[b] > 0)
         .map(|b| {
-            let c = bin_count[b] as f64;
+            let c = f64_from_usize(bin_count[b]);
             let gap = (bin_pos[b] / c - bin_sum[b] / c).abs();
             gap * c / n
         })

@@ -10,6 +10,7 @@ use crate::classifier::Trainer;
 use crate::dataset::Dataset;
 use crate::metrics::roc_auc;
 use crate::split::{complement, downsample_majority, grouped_kfold};
+use ssd_types::cast::{f64_from_usize, u64_from_usize};
 
 /// Result of a cross-validation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,7 +22,7 @@ pub struct CvResult {
 impl CvResult {
     /// Mean AUC across folds.
     pub fn mean(&self) -> f64 {
-        self.fold_aucs.iter().sum::<f64>() / self.fold_aucs.len() as f64
+        self.fold_aucs.iter().sum::<f64>() / f64_from_usize(self.fold_aucs.len())
     }
 
     /// Sample standard deviation across folds (0 for a single fold).
@@ -36,7 +37,7 @@ impl CvResult {
             .iter()
             .map(|a| (a - m) * (a - m))
             .sum::<f64>()
-            / (n - 1) as f64)
+            / f64_from_usize(n - 1))
             .sqrt()
     }
 
@@ -86,14 +87,14 @@ pub fn cross_validate(trainer: &dyn Trainer, data: &Dataset, opts: &CvOptions) -
             data,
             &train_idx,
             opts.downsample_ratio,
-            opts.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9),
+            opts.seed ^ u64_from_usize(fi).wrapping_mul(0x9E37_79B9),
         );
         let train = data.select(&train_idx);
         let (tpos, tneg) = train.class_counts();
         if tpos == 0 || tneg == 0 {
             continue;
         }
-        let model = trainer.fit(&train, opts.seed.wrapping_add(fi as u64));
+        let model = trainer.fit(&train, opts.seed.wrapping_add(u64_from_usize(fi)));
         let scores = model.predict_batch(&test);
         fold_aucs.push(roc_auc(&scores, test.labels()));
     }

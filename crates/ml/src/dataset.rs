@@ -1,5 +1,7 @@
 //! Dense row-major dataset with group labels for grouped cross-validation.
 
+use ssd_types::cast::f64_from_usize;
+
 /// A supervised binary-classification dataset.
 ///
 /// Features are stored row-major in one contiguous `Vec<f32>` (structure of
@@ -163,7 +165,7 @@ impl Scaler {
             }
         }
         for m in &mut means {
-            *m /= n as f64;
+            *m /= f64_from_usize(n);
         }
         let mut vars = vec![0f64; d];
         for i in 0..data.n_rows() {
@@ -175,8 +177,9 @@ impl Scaler {
         let inv_stds = vars
             .iter()
             .map(|&v| {
-                let sd = (v / n as f64).sqrt();
+                let sd = (v / f64_from_usize(n)).sqrt();
                 if sd > 1e-12 {
+                    // lint:allow(lossy-cast) -- feature matrix is f32; rounding the scale is the precision contract
                     (1.0 / sd) as f32
                 } else {
                     1.0 // constant feature: leave centred but unscaled
@@ -184,6 +187,7 @@ impl Scaler {
             })
             .collect();
         Scaler {
+            // lint:allow(lossy-cast) -- feature matrix is f32; rounding the centre is the precision contract
             means: means.into_iter().map(|m| m as f32).collect(),
             inv_stds,
         }

@@ -46,6 +46,7 @@ use crate::forest::RandomForest;
 use crate::gbdt::{Gbdt, RegNode};
 use crate::tree::Node;
 use ssd_parallel::prelude::*;
+use ssd_types::cast::{f64_from_usize, u32_from_usize, usize_from_u32};
 use std::collections::VecDeque;
 
 /// Sentinel in the `feature` column marking a leaf node.
@@ -104,7 +105,7 @@ impl<L: Copy> FlatNodes<L> {
 
     /// Reserves `n` node slots and returns the first id.
     fn alloc(&mut self, n: usize) -> u32 {
-        let base = self.feature.len() as u32;
+        let base = u32_from_usize(self.feature.len());
         for _ in 0..n {
             self.feature.push(LEAF);
             self.threshold.push(0.0);
@@ -125,8 +126,8 @@ impl<L: Copy> FlatNodes<L> {
             max_depth = max_depth.max(depth);
             match src(s) {
                 SrcNode::Leaf(v) => {
-                    self.feature[dst as usize] = LEAF;
-                    self.payload[dst as usize] = self.leaf_values.len() as u32;
+                    self.feature[usize_from_u32(dst)] = LEAF;
+                    self.payload[usize_from_u32(dst)] = u32_from_usize(self.leaf_values.len());
                     self.leaf_values.push(v);
                 }
                 SrcNode::Split {
@@ -136,9 +137,9 @@ impl<L: Copy> FlatNodes<L> {
                     right,
                 } => {
                     let first = self.alloc(2);
-                    self.feature[dst as usize] = feature;
-                    self.threshold[dst as usize] = threshold;
-                    self.payload[dst as usize] = first;
+                    self.feature[usize_from_u32(dst)] = feature;
+                    self.threshold[usize_from_u32(dst)] = threshold;
+                    self.payload[usize_from_u32(dst)] = first;
                     queue.push_back((left, first, depth + 1));
                     queue.push_back((right, first + 1, depth + 1));
                 }
@@ -150,16 +151,16 @@ impl<L: Copy> FlatNodes<L> {
     /// Walks one tree for one row and returns its leaf payload.
     #[inline]
     fn leaf_for(&self, root: u32, row: &[f32]) -> L {
-        let mut id = root as usize;
+        let mut id = usize_from_u32(root);
         loop {
             let f = self.feature[id];
             if f == LEAF {
-                return self.leaf_values[self.payload[id] as usize];
+                return self.leaf_values[usize_from_u32(self.payload[id])];
             }
             // `!(x <= t)` — not `x > t` — so a NaN feature takes the right
             // child exactly as the pointer trees' if/else does.
-            let go_right = !(row[f as usize] <= self.threshold[id]);
-            id = (self.payload[id] + u32::from(go_right)) as usize;
+            let go_right = !(row[usize_from_u32(f)] <= self.threshold[id]);
+            id = usize_from_u32(self.payload[id] + u32::from(go_right));
         }
     }
 
@@ -183,12 +184,12 @@ impl<L: Copy> FlatNodes<L> {
         let is_leaf = f == LEAF;
         // Leaves load row column 0 harmlessly; the stepped id is
         // discarded by the `is_leaf` select below.
-        let fi = if is_leaf { 0 } else { f as usize };
+        let fi = if is_leaf { 0 } else { usize_from_u32(f) };
         let x = rows[j * n_features + fi];
         // `!(x <= t)` — not `x > t` — so a NaN feature takes the right
         // child exactly as the pointer trees' if/else does.
         let go_right = !(x <= self.threshold[id]);
-        let next = (self.payload[id] + u32::from(go_right)) as usize;
+        let next = usize_from_u32(self.payload[id] + u32::from(go_right));
         if is_leaf {
             id
         } else {
@@ -207,7 +208,7 @@ impl<L: Copy> FlatNodes<L> {
         acc: &mut [f64],
         fold: &impl Fn(&mut f64, L),
     ) {
-        let mut ids = [root as usize; LANES];
+        let mut ids = [usize_from_u32(root); LANES];
         if n == LANES {
             // Full group: a compile-time lane count lets the level pass
             // unroll completely, keeping all eight load chains in flight.
@@ -224,7 +225,7 @@ impl<L: Copy> FlatNodes<L> {
             }
         }
         for (j, a) in acc.iter_mut().enumerate().take(n) {
-            fold(a, self.leaf_values[self.payload[ids[j]] as usize]);
+            fold(a, self.leaf_values[usize_from_u32(self.payload[ids[j]])]);
         }
     }
 
@@ -317,7 +318,7 @@ impl FlatForest {
         let mut nodes = FlatNodes::new();
         for tree in forest.trees() {
             let src = tree.nodes();
-            nodes.push_tree(|id| match src[id as usize] {
+            nodes.push_tree(|id| match src[usize_from_u32(id)] {
                 Node::Leaf { prob } => SrcNode::Leaf(prob),
                 Node::Split {
                     feature,
@@ -348,7 +349,7 @@ impl FlatForest {
     fn eval_block(&self, chunk: &[f32], n_features: usize, acc: &mut [f64]) {
         self.nodes
             .fold_block(chunk, n_features, acc, |a, leaf| *a += f64::from(leaf));
-        let n = self.nodes.roots.len() as f64;
+        let n = f64_from_usize(self.nodes.roots.len());
         for a in acc {
             *a /= n;
         }
@@ -375,7 +376,7 @@ impl Classifier for FlatForest {
         for &root in &self.nodes.roots {
             sum += f64::from(self.nodes.leaf_for(root, row));
         }
-        sum / self.nodes.roots.len() as f64
+        sum / f64_from_usize(self.nodes.roots.len())
     }
 
     fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
@@ -400,7 +401,7 @@ impl FlatGbdt {
         let mut nodes = FlatNodes::new();
         for tree in model.reg_trees() {
             let src = tree.nodes();
-            nodes.push_tree(|id| match src[id as usize] {
+            nodes.push_tree(|id| match src[usize_from_u32(id)] {
                 RegNode::Leaf { value } => SrcNode::Leaf(value),
                 RegNode::Split {
                     feature,

@@ -13,6 +13,7 @@ use crate::split_kernel::{PresortedDataset, TreeScratch};
 use crate::tree::{DecisionTree, TreeConfig};
 use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{f64_from_usize, u64_from_usize, usize_from_u64};
 
 /// Hyperparameters for the random forest.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,10 +77,12 @@ impl RandomForest {
         config.validate();
         assert!(data.n_rows() >= 2, "forest needs at least two rows");
         let n = data.n_rows();
+        // lint:allow(lossy-cast) -- fractional bootstrap target rounded to a whole row count
         let boot = ((n as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
         let mut tree_cfg = config.tree.clone();
         if tree_cfg.max_features.is_none() {
             let d = data.n_features();
+            // lint:allow(lossy-cast) -- ceil(sqrt(d)) feature heuristic is integral by construction
             tree_cfg.max_features = Some((d as f64).sqrt().ceil() as usize);
         }
         // Sort every feature column exactly once; each tree derives its
@@ -91,9 +94,9 @@ impl RandomForest {
                 || (TreeScratch::new(), Vec::with_capacity(boot)),
                 |(scratch, indices), t| {
                     // Independent stream per tree: bootstrap + feature draws.
-                    let mut rng = SplitMix64::for_stream(seed, t as u64);
+                    let mut rng = SplitMix64::for_stream(seed, u64_from_usize(t));
                     indices.clear();
-                    indices.extend((0..boot).map(|_| rng.next_bounded(n as u64) as usize));
+                    indices.extend((0..boot).map(|_| usize_from_u64(rng.next_bounded(u64_from_usize(n)))));
                     DecisionTree::fit_with_presorted(
                         &tree_cfg,
                         data,
@@ -154,7 +157,7 @@ impl RandomForest {
 impl Classifier for RandomForest {
     fn predict_proba(&self, row: &[f32]) -> f64 {
         let sum: f64 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
-        sum / self.trees.len() as f64
+        sum / f64_from_usize(self.trees.len())
     }
 
     /// Parallel over rows; within a row, trees are reduced sequentially so
@@ -186,6 +189,7 @@ mod tests {
     use super::*;
     use crate::metrics::roc_auc;
     use ssd_stats::SplitMix64;
+use ssd_types::cast::{f64_from_usize, u64_from_usize, usize_from_u64};
 
     fn noisy_nonlinear(n: usize, seed: u64) -> Dataset {
         // Ring classification with label noise: forests should beat

@@ -16,6 +16,7 @@ use crate::classifier::{sigmoid, Classifier, Trainer};
 use crate::dataset::Dataset;
 use crate::split_kernel::{scan_feature, NewtonCriterion, PresortedDataset, TreeScratch};
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{f64_from_usize, u16_from_usize, u32_from_usize, u64_from_usize, usize_from_u32, usize_from_u64};
 
 /// Hyperparameters for gradient boosting.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,8 +114,8 @@ impl<'a> RegBuilder<'a> {
     fn node_sums(&self, lo: usize, hi: usize) -> (f64, f64) {
         let (mut g, mut h) = (0.0, 0.0);
         for &s in self.scratch.cols.order_segment(0, lo, hi) {
-            g += self.scratch.grad[s as usize];
-            h += self.scratch.hess[s as usize];
+            g += self.scratch.grad[usize_from_u32(s)];
+            h += self.scratch.hess[usize_from_u32(s)];
         }
         (g, h)
     }
@@ -124,7 +125,7 @@ impl<'a> RegBuilder<'a> {
         let (g_sum, h_sum) = self.node_sums(lo, hi);
         let leaf = |nodes: &mut Vec<RegNode>| {
             nodes.push(RegNode::Leaf { value: -g_sum / (h_sum + LAMBDA) });
-            (nodes.len() - 1) as u32
+            u32_from_usize(nodes.len() - 1)
         };
         if depth >= self.max_depth || n < 2 * self.min_leaf {
             return leaf(&mut self.nodes);
@@ -134,7 +135,7 @@ impl<'a> RegBuilder<'a> {
             return leaf(&mut self.nodes);
         };
         self.nodes.push(RegNode::Leaf { value: 0.0 });
-        let me = (self.nodes.len() - 1) as u32;
+        let me = u32_from_usize(self.nodes.len() - 1);
 
         // If both children are leaves by construction, their Newton values
         // need only the left/right sums, which the winning feature's
@@ -145,8 +146,8 @@ impl<'a> RegBuilder<'a> {
         let (left, right) = if child_is_leaf(split_at) && child_is_leaf(n - split_at) {
             let (mut gl, mut hl) = (0.0, 0.0);
             for &s in self.scratch.cols.order_segment(feature, lo, lo + split_at) {
-                gl += self.scratch.grad[s as usize];
-                hl += self.scratch.hess[s as usize];
+                gl += self.scratch.grad[usize_from_u32(s)];
+                hl += self.scratch.hess[usize_from_u32(s)];
             }
             self.nodes.push(RegNode::Leaf { value: -gl / (hl + LAMBDA) });
             self.nodes.push(RegNode::Leaf {
@@ -159,7 +160,7 @@ impl<'a> RegBuilder<'a> {
             let right = self.build(lo + split_at, hi, depth + 1);
             (left, right)
         };
-        self.nodes[me as usize] = RegNode::Split {
+        self.nodes[usize_from_u32(me)] = RegNode::Split {
             feature,
             threshold,
             left,
@@ -181,7 +182,7 @@ impl<'a> RegBuilder<'a> {
         let mut crit =
             NewtonCriterion::new(&self.scratch.grad, &self.scratch.hess, g_tot, h_tot, LAMBDA);
         let mut best: Option<(u16, f32, usize, f64)> = None;
-        for f in 0..self.n_features as u16 {
+        for f in 0..u16_from_usize(self.n_features) {
             let order = self.scratch.cols.order_segment(f, lo, hi);
             let values = self.scratch.cols.values_of(f);
             if let Some((threshold, gain, split_at)) =
@@ -205,7 +206,7 @@ impl RegTree {
     fn predict(&self, row: &[f32]) -> f64 {
         let mut id = 0u32;
         loop {
-            match self.nodes[id as usize] {
+            match self.nodes[usize_from_u32(id)] {
                 RegNode::Leaf { value } => return value,
                 RegNode::Split {
                     feature,
@@ -213,7 +214,7 @@ impl RegTree {
                     left,
                     right,
                 } => {
-                    id = if row[feature as usize] <= threshold {
+                    id = if row[usize::from(feature)] <= threshold {
                         left
                     } else {
                         right
@@ -239,15 +240,17 @@ impl Gbdt {
         let (pos, neg) = data.class_counts();
         assert!(pos > 0 && neg > 0, "GBDT needs both classes");
         let n = data.n_rows();
-        let p0 = pos as f64 / n as f64;
+        let p0 = f64_from_usize(pos) / f64_from_usize(n);
         let base_score = (p0 / (1.0 - p0)).ln();
 
         let mut scores = vec![base_score; n];
         let mut grad = vec![0.0f64; n];
         let mut hess = vec![0.0f64; n];
         let mut trees = Vec::with_capacity(config.n_trees);
+        // lint:allow(rng-discipline) -- fit-entry stream root: the caller owns seed derivation, and re-mixing here would break pinned predictions
         let mut rng = SplitMix64::new(seed);
-        let sample_size = ((n as f64) * config.subsample).round().max(2.0) as usize;
+        // lint:allow(lossy-cast) -- rounding a fractional subsample target down to a whole row count is the point
+        let sample_size = (f64_from_usize(n) * config.subsample).round().max(2.0) as usize;
         let mut pool: Vec<usize> = (0..n).collect();
         // The feature columns never change across rounds: sort them once
         // and derive each round's subsample orders from the shared result.
@@ -266,7 +269,7 @@ impl Gbdt {
             }
             // Deterministic partial shuffle for the round's subsample.
             for i in 0..sample_size.min(n) {
-                let j = i + rng.next_bounded((n - i) as u64) as usize;
+                let j = i + usize_from_u64(rng.next_bounded(u64_from_usize(n - i)));
                 pool.swap(i, j);
             }
             let indices = &pool[..sample_size.min(n)];

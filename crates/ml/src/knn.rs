@@ -8,6 +8,7 @@
 
 use crate::classifier::{Classifier, Trainer};
 use crate::dataset::{Dataset, Scaler};
+use ssd_types::cast::f64_from_usize;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -140,7 +141,7 @@ impl Classifier for Knn {
         } else {
             let k = neighbours.len().max(1);
             let pos = neighbours.iter().filter(|i| i.label).count();
-            pos as f64 / k as f64
+            f64_from_usize(pos) / f64_from_usize(k)
         }
     }
 

@@ -5,13 +5,13 @@
 //! Rust equivalent, so every piece is implemented here:
 //!
 //! * the six classifier families of Table 6 — [`linear::LogisticRegression`],
-//!   [`knn::Knn`], [`linear::LinearSvm`], [`nn::Mlp`],
+//!   [`knn::Knn`], [`linear::LinearSvm`], [`Mlp`],
 //!   [`tree::DecisionTree`], and [`forest::RandomForest`] (with MDI feature
 //!   importances for Figure 16);
 //! * the evaluation protocol of Section 5.1 — ROC curves and AUC
 //!   ([`metrics`]), drive-grouped k-fold CV with training-side 1:1
 //!   downsampling ([`cv`], [`split`]);
-//! * hyperparameter grid search ([`gridsearch`]).
+//! * hyperparameter grid search ([`grid_search`]).
 //!
 //! All training is deterministic given a seed, and the parallel paths
 //! (forest training, batch prediction) are reduction-order stable.
@@ -20,19 +20,19 @@
 
 #![warn(missing_docs)]
 
-pub mod calibrate;
+mod calibrate;
 pub mod classifier;
 pub mod cv;
 pub mod dataset;
 pub mod flat;
 pub mod forest;
 pub mod gbdt;
-pub mod gridsearch;
+mod gridsearch;
 pub mod knn;
 pub mod linear;
 pub mod metrics;
-pub mod naive_bayes;
-pub mod nn;
+mod naive_bayes;
+mod nn;
 pub mod permutation;
 pub mod split;
 pub mod split_kernel;

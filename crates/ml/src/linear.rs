@@ -8,6 +8,7 @@
 use crate::classifier::{sigmoid, Classifier, Trainer};
 use crate::dataset::{Dataset, Scaler};
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{f64_from_usize, u64_from_usize, usize_from_u64};
 
 /// Hyperparameters for logistic regression.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +63,7 @@ impl LogisticRegression {
                 }
                 gb += err;
             }
-            let inv_n = 1.0 / n as f64;
+            let inv_n = 1.0 / f64_from_usize(n);
             for j in 0..d {
                 let g = grad[j] * inv_n + config.l2 * w[j];
                 vw[j] = momentum * vw[j] - config.learning_rate * g;
@@ -141,17 +142,18 @@ impl LinearSvm {
         let mut w = vec![0.0f64; d];
         let mut b = 0.0f64;
         let mut order: Vec<usize> = (0..n).collect();
+        // lint:allow(rng-discipline) -- fit-entry stream root: the caller owns seed derivation, and re-mixing here would break pinned predictions
         let mut rng = SplitMix64::new(seed);
         let mut t = 0usize;
         for _ in 0..config.epochs {
             // Deterministic reshuffle each epoch.
             for i in (1..order.len()).rev() {
-                let j = rng.next_bounded((i + 1) as u64) as usize;
+                let j = usize_from_u64(rng.next_bounded(u64_from_usize(i + 1)));
                 order.swap(i, j);
             }
             for &i in &order {
                 t += 1;
-                let eta = 1.0 / (config.lambda * t as f64);
+                let eta = 1.0 / (config.lambda * f64_from_usize(t));
                 let row = &x[i * d..(i + 1) * d];
                 let yi = if y[i] > 0.5 { 1.0 } else { -1.0 };
                 let margin = yi * (b + dot(&w, row));

@@ -5,6 +5,8 @@
 //! Section 5.1) and the ROC curve's TPR/FPR axes are insensitive to the
 //! class ratio.
 
+use ssd_types::cast::f64_from_usize;
+
 /// One point of a ROC curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {
@@ -57,8 +59,8 @@ impl RocCurve {
                 i += 1;
             }
             points.push(RocPoint {
-                fpr: fp as f64 / n_neg as f64,
-                tpr: tp as f64 / n_pos as f64,
+                fpr: f64_from_usize(fp) / f64_from_usize(n_neg),
+                tpr: f64_from_usize(tp) / f64_from_usize(n_pos),
                 threshold: s,
             });
         }
@@ -113,7 +115,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         while j < idx.len() && scores[idx[j]] == scores[idx[i]] {
             j += 1;
         }
-        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        let avg_rank = f64_from_usize(i + 1 + j) / 2.0;
         for &k in &idx[i..j] {
             if labels[k] {
                 rank_sum_pos += avg_rank;
@@ -121,8 +123,9 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         }
         i = j;
     }
-    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
-    u / (n_pos as f64 * n_neg as f64)
+    let pos = f64_from_usize(n_pos);
+    let u = rank_sum_pos - pos * (pos + 1.0) / 2.0;
+    u / (pos * f64_from_usize(n_neg))
 }
 
 /// Weighted ROC AUC: the Mann–Whitney statistic over weighted pairs,
@@ -209,7 +212,7 @@ impl Confusion {
         if p == 0 {
             0.0
         } else {
-            self.tp as f64 / p as f64
+            f64_from_usize(self.tp) / f64_from_usize(p)
         }
     }
 
@@ -219,7 +222,7 @@ impl Confusion {
         if n == 0 {
             0.0
         } else {
-            self.fp as f64 / n as f64
+            f64_from_usize(self.fp) / f64_from_usize(n)
         }
     }
 
@@ -229,7 +232,7 @@ impl Confusion {
         if pp == 0 {
             0.0
         } else {
-            self.tp as f64 / pp as f64
+            f64_from_usize(self.tp) / f64_from_usize(pp)
         }
     }
 
@@ -261,8 +264,8 @@ pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
             seen += 1;
             i += 1;
         }
-        let recall = tp as f64 / n_pos as f64;
-        let precision = tp as f64 / seen as f64;
+        let recall = f64_from_usize(tp) / f64_from_usize(n_pos);
+        let precision = f64_from_usize(tp) / f64_from_usize(seen);
         ap += (recall - prev_recall) * precision;
         prev_recall = recall;
     }

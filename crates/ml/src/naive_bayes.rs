@@ -8,6 +8,7 @@
 
 use crate::classifier::{Classifier, Trainer};
 use crate::dataset::{Dataset, Scaler};
+use ssd_types::cast::f64_from_usize;
 
 /// Hyperparameters for Gaussian naive Bayes.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,7 +48,7 @@ impl NaiveBayes {
         let d = data.n_features();
         let mut means = [vec![0.0f64; d], vec![0.0f64; d]];
         let mut vars = [vec![0.0f64; d], vec![0.0f64; d]];
-        let counts = [neg as f64, pos as f64];
+        let counts = [f64_from_usize(neg), f64_from_usize(pos)];
         for i in 0..scaled.n_rows() {
             let c = usize::from(scaled.label(i));
             for (m, &v) in means[c].iter_mut().zip(scaled.row(i)) {

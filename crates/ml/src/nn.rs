@@ -6,6 +6,7 @@
 use crate::classifier::{sigmoid, Classifier, Trainer};
 use crate::dataset::{Dataset, Scaler};
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{f64_from_usize, u64_from_usize, usize_from_u64};
 
 /// Hyperparameters for the MLP.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +51,7 @@ struct Layer {
 impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut SplitMix64) -> Self {
         // He initialization for ReLU nets.
-        let scale = (2.0 / n_in as f64).sqrt();
+        let scale = (2.0 / f64_from_usize(n_in)).sqrt();
         let w = (0..n_in * n_out)
             .map(|_| (rng.next_f64() * 2.0 - 1.0) * scale)
             .collect();
@@ -92,6 +93,7 @@ impl Mlp {
         let n = data.n_rows();
         let d = data.n_features();
 
+        // lint:allow(rng-discipline) -- fit-entry stream root: the caller owns seed derivation, and re-mixing here would break pinned predictions
         let mut rng = SplitMix64::new(seed);
         let mut dims = vec![d];
         dims.extend_from_slice(&config.hidden);
@@ -116,7 +118,7 @@ impl Mlp {
         for _ in 0..config.epochs {
             // Deterministic shuffle.
             for i in (1..n).rev() {
-                let j = rng.next_bounded((i + 1) as u64) as usize;
+                let j = usize_from_u64(rng.next_bounded(u64_from_usize(i + 1)));
                 order.swap(i, j);
             }
             for batch in order.chunks(config.batch_size) {
@@ -176,9 +178,10 @@ impl Mlp {
                 }
                 // Adam update.
                 t_step += 1;
-                let bc1 = 1.0 - beta1.powi(t_step as i32);
-                let bc2 = 1.0 - beta2.powi(t_step as i32);
-                let scale = 1.0 / batch.len() as f64;
+                // lint:allow(lossy-cast) -- Adam step counter stays far below i32::MAX for any real epoch budget
+                let t = t_step as i32;
+                let (bc1, bc2) = (1.0 - beta1.powi(t), 1.0 - beta2.powi(t));
+                let scale = 1.0 / f64_from_usize(batch.len());
                 for l in 0..n_layers {
                     let layer = &mut layers[l];
                     for (k, g0) in gw[l].iter().enumerate() {

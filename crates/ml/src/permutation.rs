@@ -10,6 +10,7 @@ use crate::classifier::Classifier;
 use crate::dataset::Dataset;
 use crate::metrics::roc_auc;
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{f64_from_usize, u64_from_usize, usize_from_u64};
 
 /// Permutation importance of every feature.
 ///
@@ -33,10 +34,10 @@ pub fn permutation_importance(
     for j in 0..d {
         let mut drop_sum = 0.0;
         for rep in 0..n_repeats {
-            let mut rng = SplitMix64::for_stream(seed ^ ((j as u64) << 16), rep as u64);
+            let mut rng = SplitMix64::for_stream(seed ^ (u64_from_usize(j) << 16), u64_from_usize(rep));
             let mut perm: Vec<usize> = (0..n).collect();
             for i in (1..n).rev() {
-                let k = rng.next_bounded((i + 1) as u64) as usize;
+                let k = usize_from_u64(rng.next_bounded(u64_from_usize(i + 1)));
                 perm.swap(i, k);
             }
             // Rebuild the dataset with column j permuted.
@@ -50,7 +51,7 @@ pub fn permutation_importance(
             let scores = model.predict_batch(&copy);
             drop_sum += baseline - roc_auc(&scores, copy.labels());
         }
-        importances.push(drop_sum / n_repeats as f64);
+        importances.push(drop_sum / f64_from_usize(n_repeats));
     }
     importances
 }

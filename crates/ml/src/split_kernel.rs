@@ -28,6 +28,7 @@
 //! that naive finder and the property suite pins the equivalence.
 
 use crate::dataset::Dataset;
+use ssd_types::cast::{f64_from_usize, u16_from_usize, u32_from_usize, usize_from_u32};
 
 /// Gains at or below this threshold are not worth a split (guards against
 /// floating-point noise producing size-zero improvements).
@@ -109,8 +110,8 @@ impl<'a> GiniCriterion<'a> {
     pub fn new(labels: &'a [bool], n: usize, n_pos: usize, node_impurity: f64) -> Self {
         GiniCriterion {
             labels,
-            n: n as f64,
-            n_pos_total: n_pos as f64,
+            n: f64_from_usize(n),
+            n_pos_total: f64_from_usize(n_pos),
             node_impurity,
             pos_left: 0.0,
         }
@@ -128,7 +129,7 @@ impl SplitCriterion for GiniCriterion<'_> {
     }
 
     fn gain(&self, n_left: usize) -> f64 {
-        let n_left = n_left as f64;
+        let n_left = f64_from_usize(n_left);
         let n_right = self.n - n_left;
         let imp_left = gini(self.pos_left, n_left);
         let imp_right = gini(self.n_pos_total - self.pos_left, n_right);
@@ -206,10 +207,10 @@ pub fn scan_feature<C: SplitCriterion>(
     crit.begin_feature();
     let mut best: Option<(f32, f64, usize)> = None;
     for k in 0..n - 1 {
-        let slot = order[k] as usize;
+        let slot = usize_from_u32(order[k]);
         crit.add_left(slot);
         let v_here = values[slot];
-        let v_next = values[order[k + 1] as usize];
+        let v_next = values[usize_from_u32(order[k + 1])];
         if v_here == v_next {
             continue; // can only split between distinct values
         }
@@ -275,11 +276,11 @@ impl PresortedColumns {
             let vals = &self.values[f * n..(f + 1) * n];
             let ord = &mut self.order[f * n..(f + 1) * n];
             for (k, o) in ord.iter_mut().enumerate() {
-                *o = k as u32;
+                *o = u32_from_usize(k);
             }
             ord.sort_unstable_by(|&a, &b| {
-                vals[a as usize]
-                    .total_cmp(&vals[b as usize])
+                vals[usize_from_u32(a)]
+                    .total_cmp(&vals[usize_from_u32(b)])
                     .then(a.cmp(&b))
             });
         }
@@ -293,14 +294,14 @@ impl PresortedColumns {
     /// The node segment `[lo, hi)` of feature `f`'s sorted order.
     #[inline]
     pub fn order_segment(&self, f: u16, lo: usize, hi: usize) -> &[u32] {
-        let base = f as usize * self.n_slots;
+        let base = usize::from(f) * self.n_slots;
         &self.order[base + lo..base + hi]
     }
 
     /// Feature `f`'s full per-slot value column.
     #[inline]
     pub fn values_of(&self, f: u16) -> &[f32] {
-        let base = f as usize * self.n_slots;
+        let base = usize::from(f) * self.n_slots;
         &self.values[base..base + self.n_slots]
     }
 
@@ -325,12 +326,12 @@ impl PresortedColumns {
     ) {
         let n = self.n_slots;
         debug_assert!(lo + split_at < hi && split_at > 0);
-        let win = feature as usize * n;
-        let cut = self.values[win + self.order[win + lo + split_at - 1] as usize];
+        let win = usize::from(feature) * n;
+        let cut = self.values[win + usize_from_u32(self.order[win + lo + split_at - 1])];
         let win_vals = &self.values[win..win + n];
         tmp.resize(hi - lo, 0);
         for f in 0..self.n_features {
-            if f == feature as usize {
+            if f == usize::from(feature) {
                 continue;
             }
             let seg = &mut self.order[f * n + lo..f * n + hi];
@@ -341,7 +342,7 @@ impl PresortedColumns {
             // 50/50-unpredictable side test never becomes a branch.
             for k in 0..seg.len() {
                 let s = seg[k];
-                let right = (win_vals[s as usize] > cut) as usize;
+                let right = usize::from(win_vals[usize_from_u32(s)] > cut);
                 seg[wl] = s;
                 tmp[wr] = s;
                 wl += 1 - right;
@@ -394,11 +395,11 @@ impl PresortedDataset {
             let vals = &values[f * n..(f + 1) * n];
             let ord = &mut order[f * n..(f + 1) * n];
             for (k, o) in ord.iter_mut().enumerate() {
-                *o = k as u32;
+                *o = u32_from_usize(k);
             }
             ord.sort_unstable_by(|&a, &b| {
-                vals[a as usize]
-                    .total_cmp(&vals[b as usize])
+                vals[usize_from_u32(a)]
+                    .total_cmp(&vals[usize_from_u32(b)])
                     .then(a.cmp(&b))
             });
         }
@@ -456,7 +457,7 @@ impl PresortedColumns {
         // Temporarily advance offsets[r] past each written slot; walking
         // slots in ascending order keeps each bucket sorted.
         for (slot, &row) in indices.iter().enumerate() {
-            slot_list[offsets[row] as usize] = slot as u32;
+            slot_list[usize_from_u32(offsets[row])] = u32_from_usize(slot);
             offsets[row] += 1;
         }
         // Shift back: offsets[r] overshot to the end of bucket r.
@@ -478,7 +479,8 @@ impl PresortedColumns {
             let ord = &mut self.order[f * n..(f + 1) * n];
             let mut k = 0usize;
             for &row in &pre.order[f * big_n..(f + 1) * big_n] {
-                let (s, e) = (offsets[row as usize] as usize, offsets[row as usize + 1] as usize);
+                let row = usize_from_u32(row);
+                let (s, e) = (usize_from_u32(offsets[row]), usize_from_u32(offsets[row + 1]));
                 ord[k..k + (e - s)].copy_from_slice(&slot_list[s..e]);
                 k += e - s;
             }
@@ -598,7 +600,7 @@ pub fn reference_best_split_gini(
 ) -> Option<SplitChoice> {
     let labels: Vec<bool> = indices.iter().map(|&i| data.label(i)).collect();
     let n_pos = labels.iter().filter(|&&l| l).count();
-    let node_impurity = gini(n_pos as f64, indices.len() as f64);
+    let node_impurity = gini(f64_from_usize(n_pos), f64_from_usize(indices.len()));
     let mut crit = GiniCriterion::new(&labels, indices.len(), n_pos, node_impurity);
     reference_scan(data, indices, min_leaf, &mut crit)
 }
@@ -631,12 +633,12 @@ fn reference_scan<C: SplitCriterion>(
         return None;
     }
     let mut best: Option<SplitChoice> = None;
-    for f in 0..data.n_features() as u16 {
-        let vals: Vec<f32> = indices.iter().map(|&i| data.row(i)[f as usize]).collect();
-        let mut order: Vec<u32> = (0..m as u32).collect();
+    for f in 0..u16_from_usize(data.n_features()) {
+        let vals: Vec<f32> = indices.iter().map(|&i| data.row(i)[usize::from(f)]).collect();
+        let mut order: Vec<u32> = (0..u32_from_usize(m)).collect();
         order.sort_unstable_by(|&a, &b| {
-            vals[a as usize]
-                .total_cmp(&vals[b as usize])
+            vals[usize_from_u32(a)]
+                .total_cmp(&vals[usize_from_u32(b)])
                 .then(a.cmp(&b))
         });
         if let Some((threshold, gain, split_at)) = scan_feature(&order, &vals, min_leaf, crit) {
@@ -658,7 +660,7 @@ pub fn presorted_best_split_gini(
 ) -> Option<SplitChoice> {
     let mut scratch = TreeScratch::new();
     let n_pos = scratch.prepare_gini(data, indices);
-    let node_impurity = gini(n_pos as f64, indices.len() as f64);
+    let node_impurity = gini(f64_from_usize(n_pos), f64_from_usize(indices.len()));
     let mut crit = GiniCriterion::new(&scratch.labels, indices.len(), n_pos, node_impurity);
     presorted_scan(&scratch.cols, data.n_features(), indices.len(), min_leaf, &mut crit)
 }
@@ -688,7 +690,7 @@ fn presorted_scan<C: SplitCriterion>(
     crit: &mut C,
 ) -> Option<SplitChoice> {
     let mut best: Option<SplitChoice> = None;
-    for f in 0..d as u16 {
+    for f in 0..u16_from_usize(d) {
         let order = cols.order_segment(f, 0, n);
         let values = cols.values_of(f);
         if let Some((threshold, gain, split_at)) = scan_feature(order, values, min_leaf, crit) {

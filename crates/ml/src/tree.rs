@@ -9,6 +9,10 @@ use crate::classifier::{Classifier, Trainer};
 use crate::dataset::Dataset;
 use crate::split_kernel::{gini, scan_feature, GiniCriterion, PresortedDataset, TreeScratch};
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{
+    f32_from_usize, f64_from_usize, u16_from_usize, u32_from_usize, u64_from_usize,
+    usize_from_u32, usize_from_u64,
+};
 
 /// Hyperparameters for CART growth.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,12 +110,12 @@ impl<'a> Builder<'a> {
     /// positives; returns its node id.
     fn build(&mut self, lo: usize, hi: usize, pos: usize, depth: usize) -> u32 {
         let n = hi - lo;
-        let node_impurity = gini(pos as f64, n as f64);
+        let node_impurity = gini(f64_from_usize(pos), f64_from_usize(n));
 
         let make_leaf = |nodes: &mut Vec<Node>| {
-            let prob = if n == 0 { 0.5 } else { pos as f32 / n as f32 };
+            let prob = if n == 0 { 0.5 } else { f32_from_usize(pos) / f32_from_usize(n) };
             nodes.push(Node::Leaf { prob });
-            (nodes.len() - 1) as u32
+            u32_from_usize(nodes.len() - 1)
         };
 
         if depth >= self.config.max_depth
@@ -129,7 +133,7 @@ impl<'a> Builder<'a> {
         };
 
         // Accumulate MDI: impurity decrease weighted by node mass.
-        self.importances[feature as usize] += gain * n as f64 / self.n_total;
+        self.importances[usize::from(feature)] += gain * f64_from_usize(n) / self.n_total;
 
         // The winning feature's first `split_at` slots are the left child;
         // count its positives here so neither child re-counts labels.
@@ -138,14 +142,14 @@ impl<'a> Builder<'a> {
             .cols
             .order_segment(feature, lo, lo + split_at)
             .iter()
-            .filter(|&&s| self.scratch.labels[s as usize])
+            .filter(|&&s| self.scratch.labels[usize_from_u32(s)])
             .count();
         let (n_left, n_right) = (split_at, n - split_at);
         let pos_right = pos - pos_left;
 
         // Reserve this node's slot before building children (pre-order ids).
         self.nodes.push(Node::Leaf { prob: 0.0 });
-        let me = (self.nodes.len() - 1) as u32;
+        let me = u32_from_usize(self.nodes.len() - 1);
 
         // If both children are leaves by construction, their probabilities
         // need only the counts just derived — skip the O(n·d) partition.
@@ -156,8 +160,8 @@ impl<'a> Builder<'a> {
                 || pos_c == n_c
         };
         let (left, right) = if is_leaf(n_left, pos_left) && is_leaf(n_right, pos_right) {
-            self.nodes.push(Node::Leaf { prob: pos_left as f32 / n_left as f32 });
-            self.nodes.push(Node::Leaf { prob: pos_right as f32 / n_right as f32 });
+            self.nodes.push(Node::Leaf { prob: f32_from_usize(pos_left) / f32_from_usize(n_left) });
+            self.nodes.push(Node::Leaf { prob: f32_from_usize(pos_right) / f32_from_usize(n_right) });
             ((me + 1), (me + 2))
         } else {
             // One stable O(n·d) pass re-segments every feature order.
@@ -166,7 +170,7 @@ impl<'a> Builder<'a> {
             let right = self.build(lo + split_at, hi, pos_right, depth + 1);
             (left, right)
         };
-        self.nodes[me as usize] = Node::Split {
+        self.nodes[usize_from_u32(me)] = Node::Split {
             feature,
             threshold,
             left,
@@ -190,11 +194,11 @@ impl<'a> Builder<'a> {
 
         // Choose candidate features: all, or a fresh random subset.
         self.feature_pool.clear();
-        self.feature_pool.extend(0..d as u16);
+        self.feature_pool.extend(0..u16_from_usize(d));
         let n_candidates = self.config.max_features.unwrap_or(d).min(d);
         if n_candidates < d {
             for i in 0..n_candidates {
-                let j = i + self.rng.next_bounded((d - i) as u64) as usize;
+                let j = i + usize_from_u64(self.rng.next_bounded(u64_from_usize(d - i)));
                 self.feature_pool.swap(i, j);
             }
         }
@@ -276,7 +280,8 @@ impl DecisionTree {
             n_features: data.n_features(),
             nodes: Vec::new(),
             importances: vec![0.0; data.n_features()],
-            n_total: indices.len() as f64,
+            n_total: f64_from_usize(indices.len()),
+            // lint:allow(rng-discipline) -- per-tree stream root: the forest derives each tree's seed upstream, and re-mixing would break pinned predictions
             rng: SplitMix64::new(seed),
             feature_pool: Vec::with_capacity(data.n_features()),
         };
@@ -321,7 +326,7 @@ impl DecisionTree {
     /// Maximum depth actually reached.
     pub fn depth(&self) -> usize {
         fn walk(nodes: &[Node], id: u32) -> usize {
-            match nodes[id as usize] {
+            match nodes[usize_from_u32(id)] {
                 Node::Leaf { .. } => 0,
                 Node::Split { left, right, .. } => {
                     1 + walk(nodes, left).max(walk(nodes, right))
@@ -340,7 +345,7 @@ impl Classifier for DecisionTree {
     fn predict_proba(&self, row: &[f32]) -> f64 {
         let mut id = 0u32;
         loop {
-            match self.nodes[id as usize] {
+            match self.nodes[usize_from_u32(id)] {
                 Node::Leaf { prob } => return f64::from(prob),
                 Node::Split {
                     feature,
@@ -348,7 +353,7 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    id = if row[feature as usize] <= threshold {
+                    id = if row[usize::from(feature)] <= threshold {
                         left
                     } else {
                         right

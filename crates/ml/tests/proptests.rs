@@ -76,6 +76,31 @@ fn roc_curve_is_monotone_to_corner() {
 }
 
 #[test]
+fn operating_point_lookup_is_monotone_and_consistent() {
+    for_each_case("operating_point_lookup_is_monotone_and_consistent", 256, |g| {
+        let (scores, labels) = scored_labels(g);
+        let c = RocCurve::compute(&scores, &labels);
+        let mut prev = 0.0;
+        for max_fpr in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
+            let t = c.tpr_at_fpr(max_fpr);
+            assert!((0.0..=1.0).contains(&t), "TPR {t} out of range");
+            assert!(t >= prev, "lookup must be monotone in the FPR budget");
+            // Spec: the best TPR among operating points within budget.
+            let best = c
+                .points
+                .iter()
+                .filter(|p| p.fpr <= max_fpr)
+                .map(|p| p.tpr)
+                .fold(0.0, f64::max);
+            assert!((t - best).abs() < 1e-12, "lookup {t} vs best {best} at {max_fpr}");
+            prev = t;
+        }
+        // The whole curve is within an FPR budget of 1.
+        assert_eq!(c.tpr_at_fpr(1.0), 1.0);
+    });
+}
+
+#[test]
 fn confusion_counts_partition_samples() {
     for_each_case("confusion_counts_partition_samples", 256, |g| {
         let (scores, labels) = scored_labels(g);

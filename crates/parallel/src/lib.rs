@@ -412,6 +412,7 @@ pub struct ThreadPoolBuilder {
 }
 
 impl ThreadPoolBuilder {
+    /// A builder with no explicit worker count (defaults to all cores).
     pub fn new() -> Self {
         Self::default()
     }
@@ -422,6 +423,8 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Finalizes the builder into a [`ThreadPool`]. Never fails in this
+    /// implementation; the `Result` mirrors rayon's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             threads: self.num_threads.unwrap_or_else(default_threads),
@@ -437,6 +440,7 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
+    /// The worker count parallel calls use while this pool is installed.
     pub fn current_num_threads(&self) -> usize {
         self.threads
     }

@@ -69,6 +69,7 @@ pub fn poisson(rng: &mut SplitMix64, lambda: f64) -> u64 {
         }
     } else {
         let x = normal(rng, lambda, lambda.sqrt());
+        // lint:allow(lossy-cast) -- normal-approximation Poisson sample rounded to a count
         x.round().max(0.0) as u64
     }
 }
@@ -81,6 +82,7 @@ pub fn geometric(rng: &mut SplitMix64, p: f64) -> u64 {
         return 0;
     }
     let u = (1.0 - rng.next_f64()).max(1e-300);
+    // lint:allow(lossy-cast) -- geometric inversion: the floor IS the sample
     (u.ln() / (1.0 - p).ln()).floor() as u64
 }
 
@@ -112,6 +114,7 @@ impl Geometric {
             return 0;
         }
         let u = (1.0 - rng.next_f64()).max(1e-300);
+        // lint:allow(lossy-cast) -- geometric inversion: the floor IS the sample
         (u.ln() / self.ln_q).floor() as u64
     }
 }

@@ -25,6 +25,7 @@ use crate::errors::{sample_day as sample_errors, ErrorContext, Escalation};
 use crate::health::{DriveTraits, LifecyclePlan};
 use crate::workload::{sample_day as sample_workload, WearModel};
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{u32_from_u64, usize_from_u32, usize_from_u64};
 use ssd_types::{DailyReport, DriveId, DriveLog, DriveModel, SwapEvent};
 
 /// How operational days between observable events are traversed.
@@ -220,7 +221,7 @@ fn activity_decline(plan: &LifecyclePlan, age: u32) -> f64 {
         Some((day, floor)) if floor < 1.0 => {
             // Ramp from full workload three days out down to the
             // per-failure floor on the failure day itself.
-            match (day - age) as usize {
+            match usize_from_u32(day - age) {
                 0 => floor,
                 1 => floor + (1.0 - floor) * 0.5,
                 2 => floor + (1.0 - floor) * 0.8,
@@ -356,6 +357,7 @@ pub fn generate_drive_into_opts<S: ReportSink>(
 
 /// Emits the daily log for a drive with known traits and plan (separated
 /// from [`generate_drive`] so tests can inject specific plans).
+#[cfg(test)]
 pub fn emit_log(
     id: DriveId,
     model: DriveModel,
@@ -370,7 +372,8 @@ pub fn emit_log(
 }
 
 /// Core emission with default options ([`GenMode::DayByDay`], calibrated
-/// report density).
+/// report density). Test-only seam over [`emit_into_opts`].
+#[cfg(test)]
 pub fn emit_into<S: ReportSink>(
     params: &ModelParams,
     traits: &DriveTraits,
@@ -412,7 +415,7 @@ pub fn emit_into_opts<S: ReportSink>(
     let expected = u64::from(plan.horizon_age)
         * u64::from(opts.report_permille.clamp(1, 1000))
         / 1000;
-    sink.reserve((expected + expected / 4 + 8) as usize);
+    sink.reserve(usize_from_u64(expected + expected / 4 + 8));
 
     let sub = rng.next_u64();
     let mut sched_rng = SplitMix64::for_stream(sub, 1);
@@ -452,7 +455,7 @@ pub fn emit_into_opts<S: ReportSink>(
                         // Ages in `[seg.start, accrued)` already counted.
                         let mut accrued = seg.start;
                         while sched.next_emit() < op_idx + len {
-                            let age = seg.start + (sched.next_emit() - op_idx) as u32;
+                            let age = seg.start + u32_from_u64(sched.next_emit() - op_idx);
                             sched.advance(&mut sched_rng);
                             st.wear += wear_model.span(accrued, age + 1);
                             accrued = age + 1;
@@ -509,11 +512,13 @@ fn emit_op_day<S: ReportSink>(
     let mut w = sample_workload(traits, age, rng);
     let decline = activity_decline(plan, age);
     if decline < 1.0 {
-        w.read_ops = ((w.read_ops as f64) * decline) as u64;
+        // lint:allow(lossy-cast) -- deliberate quantization: declining op counts round toward zero
+        let scale_ops = |ops: u64| ((ops as f64) * decline) as u64;
+        w.read_ops = scale_ops(w.read_ops);
         // Keep the failure day "active" (≥ 1 op) so the failure-point
         // definition still lands on it.
-        w.write_ops = (((w.write_ops as f64) * decline) as u64).max(1);
-        w.erase_ops = ((w.erase_ops as f64) * decline) as u64;
+        w.write_ops = scale_ops(w.write_ops).max(1);
+        w.erase_ops = scale_ops(w.erase_ops);
     }
     let pe_cycles = WearModel::cycles(st.wear);
     let ctx = ErrorContext {

@@ -18,6 +18,7 @@ use crate::calibration::{self, ModelParams};
 use crate::dist;
 use crate::health::DriveTraits;
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{u32_from_u64, usize_from_u32};
 use ssd_types::{ErrorCounts, ErrorKind, PE_CYCLE_LIMIT};
 
 /// Escalation context for a day close to a symptomatic failure.
@@ -75,6 +76,7 @@ pub fn sample_day(
             );
             bits *= 1.0 + 4.0 * closeness;
         }
+        // lint:allow(lossy-cast) -- clamped log-normal sample quantized to an error count
         errors.set(ErrorKind::Correctable, bits.min(1e12) as u64 + 1);
     }
 
@@ -102,27 +104,30 @@ pub fn sample_day(
             None if ctx.defect_symptomatic => {
                 // Persistently high counts across the defective drive's
                 // short life (Figure 10's heavy young tail).
+                // lint:allow(lossy-cast) -- clamped log-normal sample quantized to an error count
                 dist::log_normal(rng, (500.0f64).ln(), 2.0).ceil().min(1e12) as u64
             }
+            // lint:allow(lossy-cast) -- clamped log-normal sample quantized to an error count
             None => dist::log_normal(rng, 2.0f64.ln(), 1.0).ceil().max(1.0) as u64,
         };
         errors.set(ErrorKind::Uncorrectable, count);
         // Final read errors are "essentially the same event" (Table 2
         // discussion, Spearman 0.97): a thinned copy of the UE process.
         if dist::bernoulli(rng, 0.45) {
+            // lint:allow(lossy-cast) -- thinning an integer count through a float ratio is lossy on purpose
             let fr = ((count as f64) * 0.30).ceil().max(1.0) as u64;
             errors.set(ErrorKind::FinalRead, fr);
         }
         // Uncorrectable errors retire blocks (Section 2: a block is marked
         // bad when a non-transparent error occurs in it).
-        grown_blocks += dist::poisson(rng, 0.4) as u32;
+        grown_blocks += u32_from_u64(dist::poisson(rng, 0.4));
         if let Some(esc) = ctx.escalation {
             // Symptomatic pre-failure days grow blocks aggressively,
             // more so for defective infants (Figure 10 tails).
             let lambda = if esc.infant { 6.0 } else { 2.0 };
-            grown_blocks += dist::poisson(rng, lambda) as u32;
+            grown_blocks += u32_from_u64(dist::poisson(rng, lambda));
         } else if ctx.defect_symptomatic {
-            grown_blocks += dist::poisson(rng, 3.0) as u32;
+            grown_blocks += u32_from_u64(dist::poisson(rng, 3.0));
         }
     }
     // Small independent final-read remainder to top up the Table 1
@@ -151,7 +156,7 @@ pub fn sample_day(
         * traits.erase_err_factor;
     if dist::bernoulli(rng, erase_prob.min(0.5)) {
         errors.set(ErrorKind::Erase, 1 + dist::geometric(rng, 0.5));
-        grown_blocks += dist::poisson(rng, 0.5) as u32;
+        grown_blocks += u32_from_u64(dist::poisson(rng, 0.5));
     }
     // Dying drives retire blocks via the firmware's background media
     // scans — visible as grown-bad-block increments without any
@@ -161,7 +166,7 @@ pub fn sample_day(
     // and making the cumulative bad-block count an informative feature,
     // as in Figure 16.
     if ctx.pre_failure_days.is_some() {
-        grown_blocks += dist::poisson(rng, 0.1) as u32;
+        grown_blocks += u32_from_u64(dist::poisson(rng, 0.1));
     }
 
     // --- Transparent retry errors: read / write (Table 1 marginals,
@@ -216,7 +221,7 @@ pub fn sample_day(
 /// Escalating UE-day probability as a symptomatic failure approaches
 /// (see [`calibration::ESCALATION_UE_PROB`]).
 fn escalation_ue_prob(esc: Escalation) -> f64 {
-    let idx = (esc.days_to_failure as usize).min(calibration::ESCALATION_UE_PROB.len() - 1);
+    let idx = usize_from_u32(esc.days_to_failure).min(calibration::ESCALATION_UE_PROB.len() - 1);
     calibration::ESCALATION_UE_PROB[idx]
 }
 
@@ -230,6 +235,7 @@ fn escalation_ue_count(esc: Escalation, rng: &mut SplitMix64) -> u64 {
     if esc.infant {
         mu += (100.0f64).ln();
     }
+    // lint:allow(lossy-cast) -- clamped log-normal sample quantized to an error count
     dist::log_normal(rng, mu, 1.5).ceil().min(1e12).max(1.0) as u64
 }
 

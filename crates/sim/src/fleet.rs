@@ -10,8 +10,7 @@
 //! [`FleetGen`] is the single entry point: pick a traversal
 //! [`GenMode`], a [`Sampling`] strategy, and a destination
 //! ([`run`](FleetGen::run) streams an archive, [`trace`](FleetGen::trace)
-//! materializes an owned [`FleetTrace`]). The legacy free functions
-//! (`generate_fleet*`) survive as deprecated thin wrappers.
+//! materializes an owned [`FleetTrace`]).
 
 use crate::arena::ReportArena;
 use crate::calibration::ModelParams;
@@ -19,6 +18,7 @@ use crate::config::SimConfig;
 use crate::drive::{generate_drive_into_opts, DriveGenOptions, GenMode};
 use ssd_parallel::prelude::*;
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{u32_from_usize, u64_from_usize, usize_from_u32, usize_from_u64};
 use ssd_types::codec::{encode_drive_soa, TraceEncoder};
 use ssd_types::{DriveId, DriveLog, DriveModel, FleetTrace};
 use std::io::Write;
@@ -128,7 +128,7 @@ impl<'a> FleetGen<'a> {
         let chunk_size = if n_chunks == 0 { 0 } else { n.div_ceil(n_chunks) };
         // Two chunks in flight per worker keeps the pool busy while
         // bounding resident encoded bytes to one wave.
-        let wave = (ssd_parallel::current_num_threads().max(1) * 2) as u32;
+        let wave = u32_from_usize(ssd_parallel::current_num_threads().max(1) * 2);
 
         let mut enc = TraceEncoder::to_sink(sink, self.config.horizon_days, u64::from(n))?;
         let mut stats = ArchiveStats {
@@ -173,7 +173,7 @@ impl<'a> FleetGen<'a> {
             * u64::from(self.config.horizon_days)
             * u64::from(self.config.report_permille.clamp(1, 1000))
             / 1000;
-        let mut out = Vec::with_capacity(64 + (expected_days + expected_days / 4) as usize * 40);
+        let mut out = Vec::with_capacity(64 + usize_from_u64(expected_days + expected_days / 4) * 40);
         // lint:allow(panic-freedom) -- io::Write into a Vec<u8> is infallible
         self.run(&mut out).expect("Vec sink cannot fail");
         out
@@ -211,7 +211,7 @@ impl<'a> FleetGen<'a> {
     fn gen_drive(&self, params: &[ModelParams], opts: &DriveGenOptions, i: u32) -> DriveLog {
         // Drives are striped across models: id % 3 picks the model, so
         // per-model sub-fleets are equally sized and id-stable.
-        let model = DriveModel::from_index((i % 3) as usize);
+        let model = DriveModel::from_index(usize_from_u32(i % 3));
         let mut rng = SplitMix64::for_stream(self.config.seed, u64::from(i));
         let mut log = DriveLog::new(DriveId(i), model);
         generate_drive_into_opts(
@@ -272,18 +272,18 @@ fn encode_chunk(
     lo: u32,
     hi: u32,
 ) -> EncodedChunk {
-    let mut arena = ReportArena::with_capacity(config.horizon_days as usize);
+    let mut arena = ReportArena::with_capacity(usize_from_u32(config.horizon_days));
     // ~40 encoded bytes per *reported* drive-day (matching
     // encode_trace's hint), scaled by the configured report density.
     let expected_days = u64::from(hi - lo)
         * u64::from(config.horizon_days)
         * u64::from(config.report_permille.clamp(1, 1000))
         / 1000;
-    let mut bytes = Vec::with_capacity(((expected_days + expected_days / 4) * 40) as usize);
+    let mut bytes = Vec::with_capacity(usize_from_u64((expected_days + expected_days / 4) * 40));
     let mut drive_days = 0u64;
     let mut swaps = 0u64;
     for i in lo..hi {
-        let model = DriveModel::from_index((i % 3) as usize);
+        let model = DriveModel::from_index(usize_from_u32(i % 3));
         let mut rng = SplitMix64::for_stream(config.seed, u64::from(i));
         arena.clear();
         generate_drive_into_opts(
@@ -293,8 +293,8 @@ fn encode_chunk(
             &mut rng,
             &mut arena,
         );
-        drive_days += arena.columns().len() as u64;
-        swaps += arena.swaps().len() as u64;
+        drive_days += u64_from_usize(arena.columns().len());
+        swaps += u64_from_usize(arena.swaps().len());
         encode_drive_soa(
             &mut bytes,
             DriveId(i),
@@ -310,33 +310,6 @@ fn encode_chunk(
         swaps,
         bytes,
     }
-}
-
-/// Generates a complete fleet trace in parallel.
-#[deprecated(note = "use FleetGen::new(&config).trace()")]
-pub fn generate_fleet(config: &SimConfig) -> FleetTrace {
-    FleetGen::new(config).trace()
-}
-
-/// Sequential reference implementation of the parallel trace path.
-#[deprecated(note = "use FleetGen::new(&config).trace_sequential()")]
-pub fn generate_fleet_sequential(config: &SimConfig) -> FleetTrace {
-    FleetGen::new(config).trace_sequential()
-}
-
-/// Generates a fleet and encodes it into an in-memory archive.
-#[deprecated(note = "use FleetGen::new(&config).run_vec()")]
-pub fn generate_fleet_archive(config: &SimConfig) -> Vec<u8> {
-    FleetGen::new(config).run_vec()
-}
-
-/// Generates a fleet and streams the compact binary archive into `sink`.
-#[deprecated(note = "use FleetGen::new(&config).run(sink)")]
-pub fn generate_fleet_archive_to<W: Write>(
-    config: &SimConfig,
-    sink: W,
-) -> std::io::Result<ArchiveStats> {
-    FleetGen::new(config).run(sink)
 }
 
 #[cfg(test)]
@@ -419,16 +392,6 @@ mod tests {
         assert_eq!(stats.drive_days, trace.total_drive_days() as u64);
         assert_eq!(stats.swaps, trace.total_swaps() as u64);
         assert_eq!(stats.bytes, baseline.len() as u64);
-    }
-
-    #[test]
-    fn deprecated_wrappers_match_builder() {
-        let cfg = tiny();
-        #[allow(deprecated)]
-        {
-            assert_eq!(generate_fleet(&cfg), FleetGen::new(&cfg).trace());
-            assert_eq!(generate_fleet_archive(&cfg), FleetGen::new(&cfg).run_vec());
-        }
     }
 
     #[test]

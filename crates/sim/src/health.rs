@@ -15,6 +15,14 @@ use crate::calibration::{
 };
 use crate::dist;
 use ssd_stats::SplitMix64;
+use ssd_types::cast::u32_from_u64;
+
+/// Quantizes a continuous duration sample to a whole day count of at
+/// least one day, matching the paper's day-granular timelines.
+fn days_from_sample(x: f64) -> u32 {
+    // lint:allow(lossy-cast) -- ceil-clamped sample: fractional days do not exist in the trace
+    x.ceil().max(1.0) as u32
+}
 
 /// Immutable per-drive latent traits, drawn once at birth.
 #[derive(Debug, Clone)]
@@ -65,7 +73,7 @@ impl DriveTraits {
         let read_ratio =
             calibration::READ_WRITE_RATIO * dist::log_normal(rng, 0.0, 0.30);
         let factory_bad_blocks =
-            dist::poisson(rng, calibration::FACTORY_BAD_BLOCK_MEAN) as u32;
+            u32_from_u64(dist::poisson(rng, calibration::FACTORY_BAD_BLOCK_MEAN));
         // Mean-1 log-normal proneness factors: LogNormal(−σ²/2, σ).
         let mean_one = |rng: &mut SplitMix64, sigma: f64| {
             dist::log_normal(rng, -sigma * sigma / 2.0, sigma)
@@ -133,12 +141,12 @@ impl LifecyclePlan {
     /// see [`calibration::EARLY_DEPLOY_FRACTION`]).
     pub fn sample_deploy_day(rng: &mut SplitMix64) -> u32 {
         if dist::bernoulli(rng, calibration::EARLY_DEPLOY_FRACTION) {
-            rng.next_bounded(u64::from(calibration::EARLY_DEPLOY_WINDOW_DAYS)) as u32
+            u32_from_u64(rng.next_bounded(u64::from(calibration::EARLY_DEPLOY_WINDOW_DAYS)))
         } else {
             calibration::EARLY_DEPLOY_WINDOW_DAYS
-                + rng.next_bounded(u64::from(
+                + u32_from_u64(rng.next_bounded(u64::from(
                     calibration::LATE_DEPLOY_END_DAYS - calibration::EARLY_DEPLOY_WINDOW_DAYS,
-                )) as u32
+                )))
         }
     }
 
@@ -213,7 +221,7 @@ impl LifecyclePlan {
             let (fail_day, infant) = if infant_hit {
                 // Manufacturing defect: failure age drawn from the infant
                 // CDF (Figure 6's spike in the first 90 days).
-                let age = infant_age_cdf().sample(rng).ceil().max(1.0) as u32;
+                let age = days_from_sample(infant_age_cdf().sample(rng));
                 (age, true)
             } else {
                 // Constant mature hazard; for the first period it applies
@@ -229,6 +237,7 @@ impl LifecyclePlan {
                 } else {
                     period_start
                 };
+                // lint:allow(lossy-cast) -- offset is ceil-clamped to [1, 10*365*6] just above; truncation is exact
                 (base.saturating_add(offset as u32), false)
             };
             if fail_day >= horizon_age {
@@ -244,10 +253,10 @@ impl LifecyclePlan {
             };
 
             // --- Non-operational period between failure and swap ---
-            let non_op = non_operational_cdf().sample(rng).ceil().max(1.0) as u32;
+            let non_op = days_from_sample(non_operational_cdf().sample(rng));
             let inactive_days = if dist::bernoulli(rng, calibration::INACTIVITY_BEFORE_SWAP_PROB)
             {
-                let inact = inactivity_cdf().sample(rng).ceil().max(1.0) as u32;
+                let inact = days_from_sample(inactivity_cdf().sample(rng));
                 // Leave at least the paper's 80%-frequent silent day when
                 // the sampled inactivity would swallow the whole period.
                 if dist::bernoulli(rng, calibration::SILENT_BEFORE_SWAP_PROB) {
@@ -270,7 +279,7 @@ impl LifecyclePlan {
             let reentry_target =
                 (params.reentry_prob * calibration::REENTRY_CENSOR_COMPENSATION).min(1.0);
             let reentry_day = if dist::bernoulli(rng, reentry_target) {
-                let repair = params.repair_cdf.sample(rng).ceil().max(1.0) as u32;
+                let repair = days_from_sample(params.repair_cdf.sample(rng));
                 let day = swap_day + repair;
                 (day < horizon_age).then_some(day)
             } else {
@@ -313,7 +322,9 @@ impl LifecyclePlan {
     }
 
     /// True if the drive is planned to fail at least once in the window
-    /// (including a terminal failure whose swap is censored).
+    /// (including a terminal failure whose swap is censored). Test-only
+    /// helper for calibration checks.
+    #[cfg(test)]
     pub fn ever_fails(&self) -> bool {
         !self.failures.is_empty() || self.terminal_unswapped_failure.is_some()
     }

@@ -77,9 +77,5 @@ pub use calibration::ModelParams;
 pub use config::SimConfig;
 pub use drive::{generate_drive_into, DriveGenOptions, GenMode, ReportSink};
 pub use fleet::{ArchiveStats, FleetGen, Sampling};
-#[allow(deprecated)]
-pub use fleet::{
-    generate_fleet, generate_fleet_archive, generate_fleet_archive_to, generate_fleet_sequential,
-};
 pub use workload::WearModel;
 pub use health::{DriveTraits, LifecyclePlan, PlannedFailure};

@@ -18,6 +18,7 @@ use crate::calibration;
 use crate::dist;
 use crate::health::DriveTraits;
 use ssd_stats::SplitMix64;
+use ssd_types::cast::{u32_from_u64, usize_from_u32};
 
 /// One day's workload counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,7 @@ pub fn sample_day(traits: &DriveTraits, age_days: u32, rng: &mut SplitMix64) -> 
 
 #[inline]
 fn to_ops(x: f64) -> u64 {
+    // lint:allow(lossy-cast) -- clamped float rate quantized to a whole op count
     x.min(1e18).round().max(0.0) as u64
 }
 
@@ -94,7 +96,7 @@ pub struct WearModel {
     mature: u64,
     /// Prefix sums of the 30 ramp-day rates: `ramp_prefix[i]` is the wear
     /// of ramp days `0..i`.
-    ramp_prefix: [u64; RAMP_DAYS as usize + 1],
+    ramp_prefix: [u64; usize_from_u32(RAMP_DAYS) + 1],
 }
 
 impl WearModel {
@@ -103,11 +105,12 @@ impl WearModel {
         let base = calibration::MEDIAN_DAILY_WRITES * traits.write_factor
             / calibration::WRITES_PER_PE_CYCLE;
         let scale = f64::from(1u32 << WEAR_SCALE_BITS);
+        // lint:allow(lossy-cast) -- fixed-point wear rate: rounding to scaled integer cycles is the encoding
         let rate = |mult: f64| (base * mult * scale).round().clamp(0.0, 1e18) as u64;
-        let mut ramp_prefix = [0u64; RAMP_DAYS as usize + 1];
+        let mut ramp_prefix = [0u64; usize_from_u32(RAMP_DAYS) + 1];
         for i in 0..RAMP_DAYS {
             let mult = age_multiplier(calibration::INFANCY_DAYS + i);
-            ramp_prefix[i as usize + 1] = ramp_prefix[i as usize] + rate(mult);
+            ramp_prefix[usize_from_u32(i) + 1] = ramp_prefix[usize_from_u32(i)] + rate(mult);
         }
         WearModel {
             infant: rate(calibration::INFANT_WRITE_MULT),
@@ -122,7 +125,7 @@ impl WearModel {
         if age < infancy {
             self.infant
         } else if age < infancy + RAMP_DAYS {
-            let i = (age - infancy) as usize;
+            let i = usize_from_u32(age - infancy);
             self.ramp_prefix[i + 1] - self.ramp_prefix[i]
         } else {
             self.mature
@@ -138,8 +141,8 @@ impl WearModel {
         let infancy = calibration::INFANCY_DAYS;
         let ramp_end = infancy + RAMP_DAYS;
         let infant_days = u64::from(to.min(infancy).saturating_sub(from.min(infancy)));
-        let lo = (from.clamp(infancy, ramp_end) - infancy) as usize;
-        let hi = (to.clamp(infancy, ramp_end) - infancy) as usize;
+        let lo = usize_from_u32(from.clamp(infancy, ramp_end) - infancy);
+        let hi = usize_from_u32(to.clamp(infancy, ramp_end) - infancy);
         let mature_days = u64::from(to.max(ramp_end) - from.max(ramp_end));
         self.infant * infant_days + (self.ramp_prefix[hi] - self.ramp_prefix[lo])
             + self.mature * mature_days
@@ -147,7 +150,7 @@ impl WearModel {
 
     /// Whole P/E cycles represented by a fixed-point wear accumulator.
     pub fn cycles(wear: u64) -> u32 {
-        (wear >> WEAR_SCALE_BITS).min(u64::from(u32::MAX)) as u32
+        u32_from_u64((wear >> WEAR_SCALE_BITS).min(u64::from(u32::MAX)))
     }
 }
 

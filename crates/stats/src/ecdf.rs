@@ -94,12 +94,6 @@ impl Ecdf {
         }
         out
     }
-
-    /// Evaluates the ECDF at each of `xs` (convenience for plotting a fixed
-    /// grid, e.g. the month marks of Figure 6).
-    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.eval(x)).collect()
-    }
 }
 
 #[cfg(test)]
@@ -162,12 +156,5 @@ mod tests {
         assert_eq!(e.quantile(0.5), None);
         assert!(e.steps().is_empty());
         assert_eq!(e.censored_fraction(), 0.0);
-    }
-
-    #[test]
-    fn eval_many_matches_eval() {
-        let e = Ecdf::new(&[1.0, 2.0, 3.0]);
-        let xs = [0.0, 1.5, 3.0];
-        assert_eq!(e.eval_many(&xs), vec![0.0, 1.0 / 3.0, 1.0]);
     }
 }

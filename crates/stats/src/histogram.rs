@@ -40,12 +40,6 @@ impl Histogram {
         self.counts[b] += 1;
     }
 
-    /// Adds `weight` observations at `x`.
-    pub fn push_n(&mut self, x: f64, weight: u64) {
-        let b = self.bin_of(x);
-        self.counts[b] += weight;
-    }
-
     /// Per-bin counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
@@ -61,14 +55,11 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
-    /// Lower edge of bin `i`.
+    /// Lower edge of bin `i`. Test-only introspection of the binning
+    /// arithmetic.
+    #[cfg(test)]
     pub fn bin_lo(&self, i: usize) -> f64 {
         self.lo + i as f64 * self.width
-    }
-
-    /// Center of bin `i`.
-    pub fn bin_center(&self, i: usize) -> f64 {
-        self.bin_lo(i) + self.width / 2.0
     }
 
     /// Per-bin fractions of the total (empty histogram → all zeros).
@@ -113,7 +104,6 @@ mod tests {
         let h = Histogram::new(100.0, 50.0, 4);
         assert_eq!(h.bin_lo(0), 100.0);
         assert_eq!(h.bin_lo(3), 250.0);
-        assert_eq!(h.bin_center(0), 125.0);
     }
 
     #[test]
@@ -124,13 +114,6 @@ mod tests {
         }
         let f = h.fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn weighted_push() {
-        let mut h = Histogram::new(0.0, 1.0, 2);
-        h.push_n(0.5, 7);
-        assert_eq!(h.counts(), &[7, 0]);
     }
 
     #[test]

@@ -18,18 +18,17 @@
 //! * [`hazard`] — exposure-normalized event rates (the dashed failure-rate
 //!   curves of Figures 6 and 8, where raw counts must be normalized by the
 //!   number of drives at risk in each bin).
-//! * [`bootstrap`] — nonparametric bootstrap confidence intervals.
 //! * [`survival`] — Kaplan–Meier product-limit estimation for the
 //!   right-censored durations of Figures 3 and 5, and two-sample
 //!   Kolmogorov–Smirnov separation tests.
 //! * [`rng`] — a tiny, dependency-free SplitMix64 generator used wherever
-//!   the substrate itself needs randomness (bootstrap resampling).
+//!   a consumer needs deterministic randomness (sampling, shuffling,
+//!   stream splitting).
 
 #![forbid(unsafe_code)]
 
 #![warn(missing_docs)]
 
-pub mod bootstrap;
 pub mod correlation;
 pub mod ecdf;
 pub mod hazard;

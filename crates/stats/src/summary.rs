@@ -95,15 +95,6 @@ impl Summary {
         }
     }
 
-    /// Population variance (n denominator); NaN when empty.
-    pub fn variance_population(&self) -> f64 {
-        if self.n == 0 {
-            f64::NAN
-        } else {
-            self.m2 / self.n as f64
-        }
-    }
-
     /// Sample standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
@@ -131,7 +122,6 @@ mod tests {
         let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
-        assert!((s.variance_population() - 4.0).abs() < 1e-12);
         assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
@@ -145,7 +135,6 @@ mod tests {
         let s = Summary::of(&[3.0]);
         assert_eq!(s.mean(), 3.0);
         assert!(s.variance().is_nan());
-        assert_eq!(s.variance_population(), 0.0);
     }
 
     #[test]

@@ -740,7 +740,8 @@ impl<R: Read> TraceDecoder<R> {
     }
 
     /// True when the archive uses the legacy v1 (weightless) framing; all
-    /// its drives decode with log-weight `0.0`.
+    /// its drives decode with log-weight `0.0`. Test-only introspection.
+    #[cfg(test)]
     pub fn is_legacy_weightless(&self) -> bool {
         self.version == Version::V1
     }
@@ -755,12 +756,15 @@ impl<R: Read> TraceDecoder<R> {
         self.n_drives
     }
 
-    /// Number of drives decoded so far.
+    /// Number of drives decoded so far. Test-only introspection.
+    #[cfg(test)]
     pub fn drives_decoded(&self) -> u64 {
         self.decoded
     }
 
-    /// Absolute byte offset of the next unread archive byte.
+    /// Absolute byte offset of the next unread archive byte. Test-only
+    /// introspection.
+    #[cfg(test)]
     pub fn byte_offset(&self) -> u64 {
         self.src.offset()
     }
@@ -854,8 +858,8 @@ impl<R: Read> Iterator for TraceDecoder<R> {
 /// header up front, then appends drive records one at a time. Each drive
 /// is serialized into an internal scratch buffer (reused between drives)
 /// and flushed to the sink immediately, so peak memory is one drive
-/// record regardless of archive size — `generate_fleet_archive` streams
-/// paper-scale archives straight to disk through this type.
+/// record regardless of archive size — the simulator's `FleetGen` builder
+/// streams paper-scale archives straight to disk through this type.
 ///
 /// The drive count is part of the header, so it must be declared at
 /// construction; [`finish_sink`](TraceEncoder::finish_sink) fails (and the
@@ -945,7 +949,8 @@ impl<W: Write> TraceEncoder<W> {
         Ok(())
     }
 
-    /// Number of drives appended so far.
+    /// Number of drives appended so far. Test-only introspection.
+    #[cfg(test)]
     pub fn appended_drives(&self) -> u64 {
         self.appended
     }

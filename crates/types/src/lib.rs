@@ -35,11 +35,14 @@
 //!   access over archive / JSON / CSV / in-memory traces.
 //! * [`json`] — minimal JSON writer/parser and conversion traits (the
 //!   workspace builds offline, so this replaces `serde`/`serde_json`).
+//! * [`cast`] — checked numeric conversions with the source type spelled
+//!   out, backing the `lossy-cast` lint's fix-it guidance.
 
 #![forbid(unsafe_code)]
 
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod codec;
 pub mod counts;
 pub mod csv;

@@ -242,7 +242,8 @@ impl TraceReader<'_> {
         }
     }
 
-    /// Number of drives the source declares.
+    /// Number of drives the source declares. Test-only introspection.
+    #[cfg(test)]
     pub fn declared_drives(&self) -> u64 {
         match &self.inner {
             Inner::Stream(dec) => dec.n_drives(),
@@ -252,7 +253,8 @@ impl TraceReader<'_> {
     }
 
     /// True when drives are being decoded incrementally (binary archive)
-    /// rather than served from a resident trace.
+    /// rather than served from a resident trace. Test-only introspection.
+    #[cfg(test)]
     pub fn is_streaming(&self) -> bool {
         matches!(self.inner, Inner::Stream(_))
     }

@@ -14,7 +14,7 @@
 //! cargo run --release --example proactive_policy
 //! ```
 
-use ssd_field_study::core::{build_dataset, failure_records, ExtractOptions};
+use ssd_field_study::core::{build_dataset, failure_records, ExtractOptions, PolicyOutcome};
 use ssd_field_study::ml::{downsample_majority, ForestConfig, Trainer};
 use ssd_field_study::sim::{FleetGen, SimConfig};
 use std::collections::HashSet;
@@ -118,18 +118,25 @@ fn main() {
             .filter(|d| !failed_drives.contains(d))
             .count();
 
-        let policy_cost = caught as f64 * COST_PLANNED
-            + missed as f64 * COST_EMERGENCY
-            + false_alerts as f64 * COST_FALSE_ALERT;
-        println!(
-            "{:>9.2} | {:>8} {:>8} {:>8} | {:>12.0} {:>12.0} {:>7.1}%",
+        let outcome = PolicyOutcome {
             threshold,
             caught,
             missed,
             false_alerts,
-            policy_cost,
+            policy_cost: caught as f64 * COST_PLANNED
+                + missed as f64 * COST_EMERGENCY
+                + false_alerts as f64 * COST_FALSE_ALERT,
             reactive_cost,
-            (1.0 - policy_cost / reactive_cost) * 100.0
+        };
+        println!(
+            "{:>9.2} | {:>8} {:>8} {:>8} | {:>12.0} {:>12.0} {:>7.1}%",
+            outcome.threshold,
+            outcome.caught,
+            outcome.missed,
+            outcome.false_alerts,
+            outcome.policy_cost,
+            outcome.reactive_cost,
+            outcome.saving() * 100.0
         );
     }
     println!(

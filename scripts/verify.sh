@@ -10,8 +10,24 @@ cd "$(dirname "$0")/.."
 echo "== offline build (debug) =="
 cargo build --offline
 
-echo "== static analysis: ssd-lint (all rules) =="
-scripts/lint.sh
+echo "== static analysis: ssd-lint (all rules, JSON report) =="
+cargo build -q --offline --release -p ssd-lint
+lint_start="$(date +%s)"
+if ! target/release/ssd-lint --root . --format json > target/lint-report.json; then
+  echo "ERROR: lint violations — report follows (also at target/lint-report.json)"
+  cat target/lint-report.json
+  exit 1
+fi
+lint_elapsed="$(( $(date +%s) - lint_start ))"
+grep -q '"count": 0' target/lint-report.json
+echo "lint report: target/lint-report.json (clean, ${lint_elapsed}s)"
+# Runtime budget smoke: the analyzer must stay cheap enough to run
+# first on every verify sweep (a cold workspace walk is ~100ms; 60s
+# catches an accidental quadratic blowup, not normal variance).
+if [ "${lint_elapsed}" -gt 60 ]; then
+  echo "ERROR: ssd-lint runtime budget exceeded (${lint_elapsed}s > 60s)"
+  exit 1
+fi
 
 echo "== doc gate: rustdoc builds warning-free =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
@@ -31,16 +47,6 @@ cargo bench --no-run --offline --workspace
 echo "== bench smoke: bench_sim (incl. fastforward + encode_stream/decode_stream) + ML kernels + flat predict + history compare =="
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_sim
 
-echo "== deprecation gate: no in-tree caller of the deprecated generate_fleet* wrappers =="
-# The wrappers live in crates/sim/src/fleet.rs (definitions + equivalence
-# test) and are re-exported from crates/sim/src/lib.rs; everything else
-# must use the FleetGen builder. Comment/doc mentions are fine.
-if grep -rn 'generate_fleet' --include='*.rs' src tests examples crates \
-  | grep -v '^crates/sim/src/fleet\.rs:' \
-  | grep -v '^crates/sim/src/lib\.rs:' \
-  | grep -v -E '^[^:]+:[0-9]+:\s*//'; then
-  echo "ERROR: deprecated generate_fleet* referenced outside crates/sim wrappers"; exit 1
-fi
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_ml_kernels train_2k_rows
 SSD_BENCH_SAMPLES=2 cargo bench --offline -p ssd-bench --bench bench_flat_predict flat_predict
 scripts/bench_compare.sh

@@ -66,6 +66,7 @@ impl ArgStream {
     }
 
     /// Builds a stream over explicit arguments (tests).
+    #[cfg(test)]
     pub fn from_args(args: Vec<String>, usage: &'static str) -> Self {
         ArgStream {
             args: args.into_iter(),

@@ -25,7 +25,7 @@ use ssd_sim::{FleetGen, SimConfig};
 use ssd_testkit::{for_each_case, Gen};
 use ssd_types::codec::encode_trace;
 use ssd_types::source::TraceSource;
-use ssd_types::FleetTrace;
+use ssd_types::{DriveId, FleetTrace};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -116,6 +116,22 @@ fn fleet_day_scores_are_identical_for_every_drive_order() {
     let mut reversed = forward.clone();
     reversed.reverse();
     assert_eq!(baseline, score_in_order(&reversed), "reverse arrival order");
+
+    // The per-drive feature rows behind those scores are themselves
+    // order-independent, and every scored drive exposes one.
+    let build_fleet = |order: &[usize]| {
+        let mut fleet = OnlineFleet::new();
+        for &i in order {
+            fleet.observe_drive(&trace.drives[i]);
+        }
+        fleet
+    };
+    let (fwd_fleet, rev_fleet) = (build_fleet(&forward), build_fleet(&reversed));
+    for &id in baseline.keys() {
+        let id = DriveId(id);
+        let row = fwd_fleet.features_of(id).expect("scored drive has a feature row");
+        assert_eq!(Some(row), rev_fleet.features_of(id), "feature row of drive {}", id.0);
+    }
 
     // Deterministic shuffles: same per-drive scores no matter how the
     // fleet's telemetry happens to interleave.

@@ -19,6 +19,7 @@
 
 use ssd_field_study_core::serve::protocol::{
     error_body, read_frame, write_frame, ProtocolError, MAX_REQUEST_FRAME,
+    MAX_RESPONSE_FRAME,
 };
 use ssd_field_study_core::serve::{
     serve_connection, Dispatcher, FleetService, Responder, ScorerSpec, ServeConfig,
@@ -361,15 +362,15 @@ fn connection_loop_answers_then_reports_malformed_frames() {
     }
     // The good frame was answered, then a typed error frame was written.
     let mut cursor = &output[..];
-    let first = read_frame(&mut cursor, u32::MAX).expect("read").expect("some");
+    let first = read_frame(&mut cursor, MAX_RESPONSE_FRAME).expect("read").expect("some");
     assert_eq!(first, svc.respond(br#"{"q":"info"}"#).expect("info"));
-    let second = read_frame(&mut cursor, u32::MAX).expect("read").expect("some");
+    let second = read_frame(&mut cursor, MAX_RESPONSE_FRAME).expect("read").expect("some");
     let v = parse(&second);
     assert_eq!(
         v.get("err").and_then(|e| e.get("kind")).and_then(Value::as_str),
         Some("truncated-frame")
     );
-    assert!(read_frame(&mut cursor, u32::MAX).expect("read").is_none());
+    assert!(read_frame(&mut cursor, MAX_RESPONSE_FRAME).expect("read").is_none());
 }
 
 #[test]
@@ -422,7 +423,7 @@ fn malformed_frames_never_panic_and_always_answer_typed() {
             );
             let mut cursor = &output[..];
             let mut last = None;
-            while let Ok(Some(frame)) = read_frame(&mut cursor, u32::MAX) {
+            while let Ok(Some(frame)) = read_frame(&mut cursor, MAX_RESPONSE_FRAME) {
                 last = Some(frame);
             }
             let last = last.expect("an error frame was written");
